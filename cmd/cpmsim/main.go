@@ -1,0 +1,155 @@
+// Command cpmsim runs an interactive-scale monitoring simulation and
+// prints per-cycle progress: result changes, work counters and timing. It
+// is the quickest way to watch CPM (or a baseline) operate on a live
+// network workload.
+//
+// Usage:
+//
+//	cpmsim -method CPM -n 5000 -queries 50 -k 8 -ts 30 -watch 3
+//
+// -watch selects how many queries get their results printed each cycle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cpm/internal/bench"
+	"cpm/internal/generator"
+	"cpm/internal/model"
+	"cpm/internal/network"
+)
+
+func main() {
+	var (
+		methodName = flag.String("method", "CPM", "CPM | YPK | SEA")
+		n          = flag.Int("n", 5000, "object population")
+		queries    = flag.Int("queries", 50, "number of k-NN queries")
+		k          = flag.Int("k", 8, "neighbors per query")
+		gridSize   = flag.Int("grid", 128, "grid cells per dimension")
+		ts         = flag.Int("ts", 30, "timestamps to simulate")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		speed      = flag.String("speed", "medium", "object/query speed: slow | medium | fast")
+		fobj       = flag.Float64("fobj", 0.5, "object agility (fraction updating per timestamp)")
+		fqry       = flag.Float64("fqry", 0.3, "query agility")
+		watch      = flag.Int("watch", 2, "queries whose results are printed each cycle")
+	)
+	flag.Parse()
+
+	var method bench.Method
+	switch *methodName {
+	case "CPM":
+		method = bench.CPM
+	case "YPK":
+		method = bench.YPK
+	case "SEA":
+		method = bench.SEA
+	default:
+		fmt.Fprintf(os.Stderr, "cpmsim: unknown method %q\n", *methodName)
+		os.Exit(2)
+	}
+	var spd generator.Speed
+	switch *speed {
+	case "slow":
+		spd = generator.Slow
+	case "medium":
+		spd = generator.Medium
+	case "fast":
+		spd = generator.Fast
+	default:
+		fmt.Fprintf(os.Stderr, "cpmsim: unknown speed %q\n", *speed)
+		os.Exit(2)
+	}
+
+	net, err := network.Generate(network.GenOptions{Width: 32, Height: 32, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	w, err := generator.New(net, generator.Params{
+		N: *n, NumQueries: *queries,
+		ObjectSpeed: spd, QuerySpeed: spd,
+		ObjectAgility: *fobj, QueryAgility: *fqry,
+		Seed: *seed + 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mon := method.New(*gridSize)
+	mon.Bootstrap(w.InitialObjects())
+	start := time.Now()
+	for i, q := range w.InitialQueries() {
+		if err := mon.RegisterQuery(model.QueryID(i), q, *k); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: %d objects, %d queries (k=%d) on a %d-node road network; initial evaluation %v\n",
+		mon.Name(), *n, *queries, *k, net.NumNodes(), time.Since(start).Round(time.Microsecond))
+
+	if *watch > *queries {
+		*watch = *queries
+	}
+	prev := make([][]model.Neighbor, *watch)
+	for i := 0; i < *watch; i++ {
+		prev[i] = mon.Result(model.QueryID(i))
+	}
+
+	var total time.Duration
+	statsBase := mon.Stats()
+	for cycle := 1; cycle <= *ts; cycle++ {
+		b := w.Advance()
+		t0 := time.Now()
+		mon.ProcessBatch(b)
+		d := time.Since(t0)
+		total += d
+		fmt.Printf("cycle %3d: %5d object updates, %4d query updates, %8v\n",
+			cycle, len(b.Objects), len(b.Queries), d.Round(time.Microsecond))
+		for i := 0; i < *watch; i++ {
+			cur := mon.Result(model.QueryID(i))
+			if changed(prev[i], cur) {
+				fmt.Printf("           q%d -> %s\n", i, formatResult(cur))
+				prev[i] = cur
+			}
+		}
+	}
+	s := mon.Stats().Sub(statsBase)
+	fmt.Printf("\ntotal processing %v (%v per cycle)\n", total.Round(time.Microsecond),
+		(total / time.Duration(*ts)).Round(time.Microsecond))
+	fmt.Printf("cell accesses %d (%.2f per query per cycle), heap ops %d, re-computations %d, full searches %d, short-circuits %d\n",
+		s.CellAccesses, float64(s.CellAccesses)/float64(*queries**ts),
+		s.HeapOps, s.Recomputations, s.FullSearches, s.ShortCircuits)
+}
+
+func changed(a, b []model.Neighbor) bool {
+	if len(a) != len(b) {
+		return true
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return true
+		}
+	}
+	return false
+}
+
+func formatResult(res []model.Neighbor) string {
+	out := ""
+	for i, n := range res {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d@%.4f", n.ID, n.Dist)
+		if i == 5 && len(res) > 6 {
+			out += fmt.Sprintf(" …(+%d)", len(res)-6)
+			break
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cpmsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// Command wlgen generates reusable workload traces — the update streams of
+// the paper's evaluation — and replays them into a monitoring method.
+// Traces make experiments repeatable across processes and let external
+// tools consume the same streams. The file format lives in internal/trace.
+//
+// Usage:
+//
+//	wlgen gen -out trace.gob -n 10000 -queries 100 -ts 50
+//	wlgen info -in trace.gob
+//	wlgen replay -in trace.gob -method CPM -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cpm/internal/bench"
+	"cpm/internal/generator"
+	"cpm/internal/model"
+	"cpm/internal/network"
+	"cpm/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wlgen gen|info|replay [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "trace.gob", "output trace file")
+		n       = fs.Int("n", 10000, "object population")
+		queries = fs.Int("queries", 100, "number of queries")
+		ts      = fs.Int("ts", 50, "timestamps")
+		seed    = fs.Int64("seed", 1, "seed")
+		fobj    = fs.Float64("fobj", 0.5, "object agility")
+		fqry    = fs.Float64("fqry", 0.3, "query agility")
+	)
+	must(fs.Parse(args))
+
+	netOpts := network.GenOptions{Width: 32, Height: 32, Seed: *seed}
+	net, err := network.Generate(netOpts)
+	must(err)
+	params := generator.Params{
+		N: *n, NumQueries: *queries,
+		ObjectSpeed: generator.Medium, QuerySpeed: generator.Medium,
+		ObjectAgility: *fobj, QueryAgility: *fqry, Seed: *seed + 1,
+	}
+	w, err := generator.New(net, params)
+	must(err)
+
+	f, err := os.Create(*out)
+	must(err)
+	defer f.Close()
+	hdr := trace.Header{
+		Params:     params,
+		Net:        netOpts,
+		Timestamps: *ts,
+		Objects:    w.InitialObjects(),
+		Queries:    w.InitialQueries(),
+	}
+	updates, err := trace.Record(f, hdr, w)
+	must(err)
+	fmt.Printf("wrote %s: %d objects, %d queries, %d timestamps, %d updates\n",
+		*out, len(hdr.Objects), len(hdr.Queries), *ts, updates)
+}
+
+func openTrace(path string) (*trace.Reader, *os.File) {
+	f, err := os.Open(path)
+	must(err)
+	r, err := trace.NewReader(f)
+	must(err)
+	return r, f
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "trace.gob", "trace file")
+	must(fs.Parse(args))
+	r, f := openTrace(*in)
+	defer f.Close()
+	hdr := r.Header()
+	moves, inserts, deletes, qmoves := 0, 0, 0, 0
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		must(err)
+		for _, u := range b.Objects {
+			switch u.Kind {
+			case model.Move:
+				moves++
+			case model.Insert:
+				inserts++
+			case model.Delete:
+				deletes++
+			}
+		}
+		qmoves += len(b.Queries)
+	}
+	fmt.Printf("%s: N=%d queries=%d ts=%d f_obj=%.0f%% f_qry=%.0f%%\n",
+		*in, hdr.Params.N, len(hdr.Queries), hdr.Timestamps,
+		hdr.Params.ObjectAgility*100, hdr.Params.QueryAgility*100)
+	fmt.Printf("stream: %d moves, %d inserts, %d deletes, %d query moves\n",
+		moves, inserts, deletes, qmoves)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in         = fs.String("in", "trace.gob", "trace file")
+		methodName = fs.String("method", "CPM", "CPM | YPK | SEA")
+		k          = fs.Int("k", 8, "neighbors per query")
+		gridSize   = fs.Int("grid", 128, "grid size")
+	)
+	must(fs.Parse(args))
+	var method bench.Method
+	switch *methodName {
+	case "CPM":
+		method = bench.CPM
+	case "YPK":
+		method = bench.YPK
+	case "SEA":
+		method = bench.SEA
+	default:
+		fmt.Fprintf(os.Stderr, "wlgen: unknown method %q\n", *methodName)
+		os.Exit(2)
+	}
+
+	r, f := openTrace(*in)
+	defer f.Close()
+	hdr := r.Header()
+	mon := method.New(*gridSize)
+	mon.Bootstrap(hdr.Objects)
+	for i, q := range hdr.Queries {
+		must(mon.RegisterQuery(model.QueryID(i), q, *k))
+	}
+	start := time.Now()
+	cycles, err := trace.Replay(r, mon)
+	must(err)
+	elapsed := time.Since(start)
+	s := mon.Stats()
+	fmt.Printf("%s replayed %d cycles in %v (%v/cycle); %d cell accesses\n",
+		mon.Name(), cycles, elapsed.Round(time.Microsecond),
+		(elapsed / time.Duration(max(cycles, 1))).Round(time.Microsecond), s.CellAccesses)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,287 @@
+// Package cpm is a from-scratch Go implementation of Conceptual
+// Partitioning Monitoring (CPM) — the continuous k nearest neighbor
+// monitoring method of Mouratidis, Hadjieleftheriou and Papadias, SIGMOD
+// 2005 — together with the grid substrate, the YPK-CNN and SEA-CNN
+// baselines it was evaluated against, an aggregate/constrained NN
+// extension, and a Brinkhoff-style network workload generator.
+//
+// The central type is Monitor: it owns an in-memory grid index over moving
+// objects and keeps the results of any number of continuous queries exact
+// while object and query location updates stream in.
+//
+//	m := cpm.NewMonitor(cpm.Options{GridSize: 128})
+//	m.Bootstrap(initialPositions)                  // load the object population
+//	m.RegisterQuery(1, cpm.Point{X: .2, Y: .7}, 8) // monitor the 8 NNs of a point
+//	for batch := range updateStream {
+//		m.Tick(batch)                  // one processing cycle
+//		_ = m.Result(1)                // always current
+//	}
+//
+// Aggregate queries (sum/min/max over several query points, Section 5 of
+// the paper) and constrained queries (results restricted to a region) are
+// registered with RegisterAggQuery and RegisterConstrainedQuery; everything
+// else works identically.
+//
+// CPM's efficiency comes from processing only the updates that fall inside
+// some query's influence region and from visiting, on any search, the
+// provably minimal set of grid cells, ordered by a conceptual partitioning
+// of the space around the query. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package cpm
+
+import (
+	"errors"
+
+	"cpm/internal/baseline"
+	"cpm/internal/core"
+	"cpm/internal/geom"
+	"cpm/internal/model"
+)
+
+var errRangeMove = errors.New("cpm: a range query moves with exactly one point")
+
+// Point is a location in the two-dimensional workspace.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle, used for workspaces and constraint
+// regions.
+type Rect = geom.Rect
+
+// ObjectID identifies a moving data object. Use dense small non-negative
+// integers: object state is stored in arrays indexed by id.
+type ObjectID = model.ObjectID
+
+// QueryID identifies an installed continuous query.
+type QueryID = model.QueryID
+
+// Neighbor is one result entry: an object and its (aggregate) distance.
+type Neighbor = model.Neighbor
+
+// Update is one element of the object location stream.
+type Update = model.Update
+
+// QueryUpdate is one element of the query stream (moves and terminations).
+type QueryUpdate = model.QueryUpdate
+
+// Batch carries the updates of one processing cycle.
+type Batch = model.Batch
+
+// Stats holds cumulative work counters (cell accesses, heap operations,
+// re-computations, …).
+type Stats = model.Stats
+
+// Agg selects the aggregate function of an aggregate NN query.
+type Agg = geom.Agg
+
+// Aggregate functions for RegisterAggQuery.
+const (
+	AggSum = geom.AggSum // minimize the total travel distance
+	AggMin = geom.AggMin // closest object to any query point
+	AggMax = geom.AggMax // minimize the farthest user's distance
+)
+
+// Stream constructors, re-exported for building Batch values.
+var (
+	// MoveUpdate builds the canonical update tuple <id, old, new>.
+	MoveUpdate = model.MoveUpdate
+	// InsertUpdate builds an object-appearance update.
+	InsertUpdate = model.InsertUpdate
+	// DeleteUpdate builds an object-disappearance update.
+	DeleteUpdate = model.DeleteUpdate
+)
+
+// Query update kinds.
+const (
+	QueryMove      = model.QueryMove
+	QueryInstall   = model.QueryInstall
+	QueryTerminate = model.QueryTerminate
+)
+
+// Update kinds.
+const (
+	Move   = model.Move
+	Insert = model.Insert
+	Delete = model.Delete
+)
+
+// UnitSquare is the canonical workspace.
+var UnitSquare = Rect{Lo: Point{X: 0, Y: 0}, Hi: Point{X: 1, Y: 1}}
+
+// Options configure a Monitor. The zero value gets a 128×128 grid (the
+// sweet spot of the paper's Figure 6.1) over the unit square.
+type Options struct {
+	// GridSize is the number of cells per dimension (cell side δ =
+	// workspace extent / GridSize). Default 128.
+	GridSize int
+	// Workspace is the indexed square area. Default the unit square.
+	// Objects outside it are clamped into border cells; distances stay
+	// exact.
+	Workspace Rect
+	// PerUpdate disables batched update handling (ablation; Section 3.2
+	// semantics). Leave false for production use.
+	PerUpdate bool
+	// DropBookkeeping trades update-handling speed for memory: the
+	// per-query search heap and visit list are discarded after every
+	// search, and affected queries recompute from scratch (the paper's
+	// memory-pressure fallback).
+	DropBookkeeping bool
+}
+
+func (o *Options) defaults() {
+	if o.GridSize == 0 {
+		o.GridSize = 128
+	}
+	if o.Workspace == (Rect{}) {
+		o.Workspace = UnitSquare
+	}
+}
+
+// Monitor continuously maintains the results of registered queries over a
+// stream of object location updates, using the CPM algorithm.
+//
+// Monitor is not safe for concurrent use: the paper's setting is a single
+// processing loop consuming a stream, and that is the supported model.
+// Wrap it in a mutex if updates and reads come from different goroutines.
+type Monitor struct {
+	e *core.Engine
+}
+
+// NewMonitor creates a CPM monitor.
+func NewMonitor(opts Options) *Monitor {
+	opts.defaults()
+	return &Monitor{
+		e: core.NewEngine(opts.GridSize, opts.Workspace, core.Options{
+			PerUpdate:       opts.PerUpdate,
+			DropBookkeeping: opts.DropBookkeeping,
+		}),
+	}
+}
+
+// Bootstrap loads the initial object population. Call once, before
+// registering queries or processing updates.
+func (m *Monitor) Bootstrap(objs map[ObjectID]Point) { m.e.Bootstrap(objs) }
+
+// RegisterQuery installs a conventional k-NN query at q and computes its
+// initial result.
+func (m *Monitor) RegisterQuery(id QueryID, q Point, k int) error {
+	return m.e.RegisterQuery(id, q, k)
+}
+
+// RegisterAggQuery installs an aggregate k-NN query: it monitors the k
+// objects minimizing agg over the distances to every point in pts.
+func (m *Monitor) RegisterAggQuery(id QueryID, pts []Point, k int, agg Agg) error {
+	return m.e.Register(id, core.AggQuery(pts, k, agg))
+}
+
+// RegisterConstrainedQuery installs a k-NN query whose results are
+// restricted to objects inside region (paper Figure 5.3).
+func (m *Monitor) RegisterConstrainedQuery(id QueryID, q Point, k int, region Rect) error {
+	def := core.PointQuery(q, k)
+	def.Constraint = &region
+	return m.e.Register(id, def)
+}
+
+// RegisterRangeQuery installs a continuous range query: it continuously
+// reports every object within radius of center. Range monitoring shares
+// the grid and influence-list machinery with k-NN monitoring but needs no
+// search state at all (see internal/core's range module).
+func (m *Monitor) RegisterRangeQuery(id QueryID, center Point, radius float64) error {
+	return m.e.RegisterRange(id, center, radius)
+}
+
+// MoveQuery relocates an installed query; pass one point per original
+// query point (exactly one for conventional, constrained and range
+// queries).
+func (m *Monitor) MoveQuery(id QueryID, to ...Point) error {
+	if m.e.IsRange(id) {
+		if len(to) != 1 {
+			return errRangeMove
+		}
+		return m.e.MoveRange(id, to[0])
+	}
+	return m.e.MoveQuery(id, to)
+}
+
+// RemoveQuery uninstalls a query. Unknown ids are a no-op.
+func (m *Monitor) RemoveQuery(id QueryID) { m.e.RemoveQuery(id) }
+
+// Tick runs one processing cycle over a batch of object and query updates.
+// Feed at most one update per object per batch (the stream model of the
+// paper); the engine tolerates more but may fall back to re-computation.
+func (m *Monitor) Tick(b Batch) { m.e.ProcessBatch(b) }
+
+// InsertObject adds a single new object immediately (a one-update cycle).
+func (m *Monitor) InsertObject(id ObjectID, p Point) {
+	m.e.ProcessBatch(Batch{Objects: []Update{InsertUpdate(id, p)}})
+}
+
+// MoveObject relocates a single object immediately (a one-update cycle).
+func (m *Monitor) MoveObject(id ObjectID, to Point) {
+	old, _ := m.e.Grid().Position(id)
+	m.e.ProcessBatch(Batch{Objects: []Update{MoveUpdate(id, old, to)}})
+}
+
+// DeleteObject removes a single object immediately (a one-update cycle).
+func (m *Monitor) DeleteObject(id ObjectID) {
+	old, _ := m.e.Grid().Position(id)
+	m.e.ProcessBatch(Batch{Objects: []Update{DeleteUpdate(id, old)}})
+}
+
+// Result returns the current result of a query of either kind — the k
+// best neighbors of a k-NN query, or all members of a range query —
+// ordered by (distance, id). The caller owns the slice. Unknown ids yield
+// nil.
+func (m *Monitor) Result(id QueryID) []Neighbor {
+	if m.e.IsRange(id) {
+		return m.e.RangeResult(id)
+	}
+	return m.e.Result(id)
+}
+
+// BestDist returns the query's current best_dist: the distance of its kth
+// neighbor, +Inf while fewer than k objects match.
+func (m *Monitor) BestDist(id QueryID) float64 { return m.e.BestDist(id) }
+
+// ObjectPosition returns the current position of a live object.
+func (m *Monitor) ObjectPosition(id ObjectID) (Point, bool) {
+	return m.e.Grid().Position(id)
+}
+
+// ObjectCount returns the number of live objects.
+func (m *Monitor) ObjectCount() int { return m.e.Grid().Count() }
+
+// ChangedQueries returns the ids of queries whose results changed since
+// the last Tick began — the per-cycle client notification set of the
+// paper's monitoring loop (Figure 3.9). Installations, moves and
+// terminations count as changes.
+func (m *Monitor) ChangedQueries() []QueryID { return m.e.ChangedQueries() }
+
+// Stats returns cumulative work counters.
+func (m *Monitor) Stats() Stats { return m.e.Stats() }
+
+// InvalidUpdates reports how many stream elements were dropped as
+// inconsistent (unknown ids, duplicate inserts, …).
+func (m *Monitor) InvalidUpdates() int64 { return m.e.InvalidUpdates() }
+
+// MemoryFootprint estimates the monitor's size in the abstract memory
+// units of the paper's Section 4.1 (one unit per stored number).
+func (m *Monitor) MemoryFootprint() int64 { return m.e.MemoryFootprint() }
+
+// Method is the interface shared by CPM and the baseline monitors, for
+// side-by-side comparison. All implementations produce identical results
+// on identical streams; they differ in cost.
+type Method = model.Monitor
+
+// NewYPKMonitor creates a YPK-CNN baseline monitor (single-point k-NN
+// queries only), for comparative benchmarking.
+func NewYPKMonitor(opts Options) Method {
+	opts.defaults()
+	return baseline.NewYPK(opts.GridSize, opts.Workspace)
+}
+
+// NewSEAMonitor creates a SEA-CNN baseline monitor (single-point k-NN
+// queries only), for comparative benchmarking.
+func NewSEAMonitor(opts Options) Method {
+	opts.defaults()
+	return baseline.NewSEA(opts.GridSize, opts.Workspace)
+}

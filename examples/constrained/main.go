@@ -1,0 +1,73 @@
+// Constrained NN monitoring (paper Figure 5.3): restrict results to a
+// region of the data space.
+//
+// A ferry terminal dispatches boats, but only boats already on the north
+// side of the river may be assigned (the rest can't cross in time). We
+// monitor the nearest boats overall and the nearest boats north of the
+// river side by side, and watch a boat switch eligibility as it crosses.
+//
+//	go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+
+	"cpm"
+)
+
+func main() {
+	m := cpm.NewMonitor(cpm.Options{GridSize: 64})
+
+	// The river runs along y = 0.5; the terminal sits on the bank.
+	terminal := cpm.Point{X: 0.5, Y: 0.5}
+	northside := cpm.Rect{Lo: cpm.Point{X: 0, Y: 0.5}, Hi: cpm.Point{X: 1, Y: 1}}
+
+	m.Bootstrap(map[cpm.ObjectID]cpm.Point{
+		1: {X: 0.52, Y: 0.45}, // very close, but south of the river
+		2: {X: 0.55, Y: 0.60}, // north
+		3: {X: 0.40, Y: 0.75}, // north, farther
+		4: {X: 0.45, Y: 0.40}, // south
+	})
+
+	const (
+		nearestAny   = cpm.QueryID(1)
+		nearestNorth = cpm.QueryID(2)
+	)
+	if err := m.RegisterQuery(nearestAny, terminal, 2); err != nil {
+		panic(err)
+	}
+	if err := m.RegisterConstrainedQuery(nearestNorth, terminal, 2, northside); err != nil {
+		panic(err)
+	}
+
+	show := func(when string) {
+		fmt.Println(when)
+		fmt.Printf("  nearest overall:    %s\n", describe(m.Result(nearestAny)))
+		fmt.Printf("  nearest north bank: %s\n", describe(m.Result(nearestNorth)))
+	}
+	show("initially (boat 1 is closest but on the wrong bank):")
+
+	// Boat 1 crosses the river: it enters the constraint region and the
+	// constrained query picks it up through ordinary update handling.
+	m.MoveObject(1, cpm.Point{X: 0.52, Y: 0.55})
+	show("boat 1 crosses to the north bank:")
+
+	// Boat 2 docks on the south side: it leaves the constrained result
+	// even though its distance barely changed.
+	m.MoveObject(2, cpm.Point{X: 0.55, Y: 0.42})
+	show("boat 2 crosses south:")
+}
+
+func describe(res []cpm.Neighbor) string {
+	if len(res) == 0 {
+		return "(none)"
+	}
+	out := ""
+	for i, n := range res {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("boat %d (%.3f)", n.ID, n.Dist)
+	}
+	return out
+}

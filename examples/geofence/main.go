@@ -1,0 +1,91 @@
+// Geofencing with continuous range monitoring.
+//
+// A logistics hub alerts when trucks come within unloading distance, and a
+// second, wider fence tracks everything in the approach zone. Range
+// queries are this repository's extension of the CPM substrate to the
+// continuous range monitoring problem of the paper's related work
+// (Q-index, SINA); they share the grid and influence lists with k-NN
+// queries but need no search state at all.
+//
+//	go run ./examples/geofence
+package main
+
+import (
+	"fmt"
+
+	"cpm"
+	"cpm/workload"
+)
+
+func main() {
+	// 800 trucks on a road network.
+	w, err := workload.New(
+		workload.CityOptions{Width: 24, Height: 24, Seed: 99},
+		workload.Params{
+			N:             800,
+			ObjectSpeed:   workload.Fast,
+			ObjectAgility: 0.8,
+			Seed:          100,
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	m := cpm.NewMonitor(cpm.Options{GridSize: 96})
+	m.Bootstrap(w.InitialObjects())
+
+	hub := cpm.Point{X: 0.5, Y: 0.5}
+	const (
+		dock     = cpm.QueryID(1) // unloading distance
+		approach = cpm.QueryID(2) // wider awareness zone
+	)
+	if err := m.RegisterRangeQuery(dock, hub, 0.03); err != nil {
+		panic(err)
+	}
+	if err := m.RegisterRangeQuery(approach, hub, 0.10); err != nil {
+		panic(err)
+	}
+	// A k-NN query coexists on the same monitor: the three nearest trucks,
+	// fenced or not.
+	if err := m.RegisterQuery(3, hub, 3); err != nil {
+		panic(err)
+	}
+
+	atDock := map[cpm.ObjectID]bool{}
+	for _, n := range m.Result(dock) {
+		atDock[n.ID] = true
+	}
+	fmt.Printf("hub online: %d trucks at the dock, %d in the approach zone\n",
+		len(m.Result(dock)), len(m.Result(approach)))
+
+	for ts := 1; ts <= 25; ts++ {
+		m.Tick(w.Advance())
+		now := map[cpm.ObjectID]bool{}
+		for _, n := range m.Result(dock) {
+			now[n.ID] = true
+			if !atDock[n.ID] {
+				fmt.Printf("t=%-3d truck %d arrived at the dock (%.3f away)\n", ts, n.ID, n.Dist)
+			}
+		}
+		for id := range atDock {
+			if !now[id] {
+				fmt.Printf("t=%-3d truck %d left the dock\n", ts, id)
+			}
+		}
+		atDock = now
+	}
+	fmt.Printf("\nfinal: %d at dock, %d approaching; nearest overall: %s\n",
+		len(m.Result(dock)), len(m.Result(approach)), describe(m.Result(3)))
+}
+
+func describe(res []cpm.Neighbor) string {
+	out := ""
+	for i, n := range res {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("truck %d (%.3f)", n.ID, n.Dist)
+	}
+	return out
+}

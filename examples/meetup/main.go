@@ -1,0 +1,98 @@
+// Meet-up planning with aggregate NN monitoring (paper Section 5).
+//
+// Four friends move through the city and continuously monitor the best
+// café to gather at, under two different goals:
+//
+//   - sum: minimize the total distance everyone travels;
+//   - max: minimize the latest arrival (the farthest friend's distance).
+//
+// Cafés are static objects; the friends are a moving aggregate query. The
+// example shows the two goals choosing different cafés and the choices
+// evolving as the group walks.
+//
+//	go run ./examples/meetup
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cpm"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Eighty cafés scattered over the city.
+	cafes := make(map[cpm.ObjectID]cpm.Point, 80)
+	for i := 0; i < 80; i++ {
+		cafes[cpm.ObjectID(i)] = cpm.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	m := cpm.NewMonitor(cpm.Options{GridSize: 64})
+	m.Bootstrap(cafes)
+
+	// The four friends start in different quarters.
+	friends := []cpm.Point{
+		{X: 0.15, Y: 0.20},
+		{X: 0.85, Y: 0.25},
+		{X: 0.80, Y: 0.80},
+		{X: 0.20, Y: 0.75},
+	}
+	const (
+		bySum = cpm.QueryID(1)
+		byMax = cpm.QueryID(2)
+	)
+	if err := m.RegisterAggQuery(bySum, friends, 1, cpm.AggSum); err != nil {
+		panic(err)
+	}
+	if err := m.RegisterAggQuery(byMax, friends, 1, cpm.AggMax); err != nil {
+		panic(err)
+	}
+
+	report := func(step int) {
+		s := m.Result(bySum)[0]
+		x := m.Result(byMax)[0]
+		fmt.Printf("step %d:\n", step)
+		fmt.Printf("  least total travel:  café %2d (sum of distances %.3f)\n", s.ID, s.Dist)
+		fmt.Printf("  earliest full group: café %2d (farthest friend %.3f)\n", x.ID, x.Dist)
+	}
+	report(0)
+
+	// The friends walk for a few steps; each step moves every friend a bit
+	// toward the east side of town. Query moves re-anchor the conceptual
+	// partitioning around the group's new bounding rectangle.
+	for step := 1; step <= 3; step++ {
+		for i := range friends {
+			friends[i].X = clamp(friends[i].X + 0.08 + 0.04*rng.Float64())
+			friends[i].Y = clamp(friends[i].Y + (rng.Float64()-0.5)*0.1)
+		}
+		if err := m.MoveQuery(bySum, friends...); err != nil {
+			panic(err)
+		}
+		if err := m.MoveQuery(byMax, friends...); err != nil {
+			panic(err)
+		}
+		report(step)
+	}
+
+	// A new café opens right in the middle of the group — both goals
+	// notice it through normal update handling, no re-registration needed.
+	center := cpm.Point{}
+	for _, f := range friends {
+		center.X += f.X / 4
+		center.Y += f.Y / 4
+	}
+	m.InsertObject(500, center)
+	fmt.Println("a new café opens at the group's centroid:")
+	report(4)
+}
+
+func clamp(v float64) float64 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}

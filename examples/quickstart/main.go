@@ -1,0 +1,74 @@
+// Quickstart: the smallest complete use of the cpm package.
+//
+// A handful of delivery couriers move around a city block; we continuously
+// monitor the two couriers nearest to a customer, printing every change.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cpm"
+)
+
+func main() {
+	// A monitor over the unit square with a 64×64 grid.
+	m := cpm.NewMonitor(cpm.Options{GridSize: 64})
+
+	// Five couriers at their current positions.
+	m.Bootstrap(map[cpm.ObjectID]cpm.Point{
+		1: {X: 0.12, Y: 0.10},
+		2: {X: 0.48, Y: 0.52},
+		3: {X: 0.55, Y: 0.45},
+		4: {X: 0.90, Y: 0.88},
+		5: {X: 0.30, Y: 0.70},
+	})
+
+	// The customer stands at the city center; monitor their 2 nearest
+	// couriers from now on.
+	customer := cpm.Point{X: 0.5, Y: 0.5}
+	const query = cpm.QueryID(1)
+	if err := m.RegisterQuery(query, customer, 2); err != nil {
+		panic(err)
+	}
+	show := func(when string) {
+		fmt.Printf("%-28s", when)
+		for _, n := range m.Result(query) {
+			fmt.Printf("  courier %d (%.3f away)", n.ID, n.Dist)
+		}
+		fmt.Println()
+	}
+	show("initially:")
+
+	// Courier 4 drives toward the center — the result updates without any
+	// search: CPM notices the incomer through the cell's influence list.
+	m.MoveObject(4, cpm.Point{X: 0.52, Y: 0.49})
+	show("courier 4 arrives downtown:")
+
+	// Courier 2 goes off-line (shift over). A deleted nearest neighbor is
+	// an outgoing one; CPM re-computes from its stored visit list.
+	m.DeleteObject(2)
+	show("courier 2 signs off:")
+
+	// A whole batch at once: one processing cycle, as a server would run
+	// per timestamp.
+	m.Tick(cpm.Batch{
+		Objects: []cpm.Update{
+			cpm.MoveUpdate(5, cpm.Point{X: 0.30, Y: 0.70}, cpm.Point{X: 0.50, Y: 0.54}),
+			cpm.InsertUpdate(6, cpm.Point{X: 0.47, Y: 0.47}),
+		},
+	})
+	show("after the next cycle:")
+
+	// The customer walks away; moving a query re-computes it from scratch
+	// at the new location.
+	if err := m.MoveQuery(query, cpm.Point{X: 0.1, Y: 0.1}); err != nil {
+		panic(err)
+	}
+	show("customer moved to (0.1,0.1):")
+
+	s := m.Stats()
+	fmt.Printf("\nwork done: %d cell accesses, %d heap ops, %d re-computations, %d short-circuits\n",
+		s.CellAccesses, s.HeapOps, s.Recomputations, s.ShortCircuits)
+}

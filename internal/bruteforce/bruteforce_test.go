@@ -1,0 +1,169 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cpm/internal/geom"
+	"cpm/internal/grid"
+	"cpm/internal/model"
+)
+
+func buildGrid(t *testing.T, rng *rand.Rand, n int) *grid.Grid {
+	t.Helper()
+	g := grid.NewUnit(8)
+	for i := 0; i < n; i++ {
+		p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		if err := g.Insert(model.ObjectID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// referenceTopK is an independent oracle-for-the-oracle: full sort.
+func referenceTopK(g *grid.Grid, dist func(geom.Point) float64, k int) []model.Neighbor {
+	var all []model.Neighbor
+	g.ForEachObject(func(id model.ObjectID, p geom.Point) {
+		all = append(all, model.Neighbor{ID: id, Dist: dist(p)})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func sameNeighbors(a, b []model.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := buildGrid(t, rng, 1+rng.Intn(100))
+		q := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		k := 1 + rng.Intn(10)
+		got := TopK(g, q, k)
+		want := referenceTopK(g, func(p geom.Point) float64 { return geom.Dist(p, q) }, k)
+		if !sameNeighbors(got, want) {
+			t.Fatalf("trial %d: TopK=%v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestTopKAgg(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		g := buildGrid(t, rng, 1+rng.Intn(80))
+		m := 1 + rng.Intn(4)
+		qs := make([]geom.Point, m)
+		for i := range qs {
+			qs[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		k := 1 + rng.Intn(5)
+		for _, a := range []geom.Agg{geom.AggSum, geom.AggMin, geom.AggMax} {
+			got := TopKAgg(g, a, qs, k)
+			want := referenceTopK(g, func(p geom.Point) float64 { return geom.AggDist(a, p, qs) }, k)
+			if !sameNeighbors(got, want) {
+				t.Fatalf("agg %v: got %v want %v", a, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKConstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := buildGrid(t, rng, 200)
+	q := geom.Point{X: 0.5, Y: 0.5}
+	region := geom.Rect{Lo: geom.Point{X: 0.5, Y: 0.5}, Hi: geom.Point{X: 1, Y: 1}}
+	got := TopKConstrained(g, q, 5, region)
+	for _, n := range got {
+		p, _ := g.Position(n.ID)
+		if !region.Contains(p) {
+			t.Errorf("constrained result %d at %v outside region", n.ID, p)
+		}
+	}
+	want := referenceTopK(g, func(p geom.Point) float64 {
+		if !region.Contains(p) {
+			return math.Inf(1)
+		}
+		return geom.Dist(p, q)
+	}, 5)
+	// The reference may include Inf entries if fewer than 5 in region; strip them.
+	for len(want) > 0 && math.IsInf(want[len(want)-1].Dist, 1) {
+		want = want[:len(want)-1]
+	}
+	if !sameNeighbors(got, want) {
+		t.Fatalf("constrained: got %v want %v", got, want)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := buildGrid(t, rng, 3)
+	got := TopK(g, geom.Point{X: 0.5, Y: 0.5}, 10)
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+}
+
+func TestSelector(t *testing.T) {
+	s := NewSelector(3)
+	if s.Full() {
+		t.Error("empty selector reports Full")
+	}
+	if !math.IsInf(s.KthDist(), 1) {
+		t.Error("empty selector KthDist not +Inf")
+	}
+	s.Offer(1, 0.5)
+	s.Offer(2, 0.3)
+	s.Offer(3, 0.9)
+	if !s.Full() {
+		t.Error("selector with k entries not Full")
+	}
+	if s.KthDist() != 0.9 {
+		t.Errorf("KthDist = %v, want 0.9", s.KthDist())
+	}
+	s.Offer(4, 0.1) // evicts 3
+	if s.KthDist() != 0.5 {
+		t.Errorf("KthDist after eviction = %v, want 0.5", s.KthDist())
+	}
+	s.Offer(5, 2.0) // ignored
+	got := s.Sorted()
+	want := []model.Neighbor{{ID: 4, Dist: 0.1}, {ID: 2, Dist: 0.3}, {ID: 1, Dist: 0.5}}
+	if !sameNeighbors(got, want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+}
+
+func TestSelectorTieBreak(t *testing.T) {
+	s := NewSelector(2)
+	s.Offer(9, 0.5)
+	s.Offer(3, 0.5)
+	s.Offer(7, 0.5)
+	got := s.Sorted()
+	want := []model.Neighbor{{ID: 3, Dist: 0.5}, {ID: 7, Dist: 0.5}}
+	if !sameNeighbors(got, want) {
+		t.Fatalf("tie-break Sorted = %v, want %v", got, want)
+	}
+}
+
+func TestSelectorPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSelector(0) did not panic")
+		}
+	}()
+	NewSelector(0)
+}

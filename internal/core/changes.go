@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"cpm/internal/model"
+)
+
+// Result-change notification — the "inform client for updated results"
+// step of the monitoring cycle (Figure 3.9, line 10).
+//
+// The engine keeps, per query, the result as last reported to the client,
+// and after each processing cycle exposes the set of queries whose current
+// result differs. Only queries actually touched by a cycle are compared,
+// so the check costs O(k) per *affected* query, not per installed query.
+
+// reportedEqual compares a stored snapshot with the live result.
+func reportedEqual(reported, current []model.Neighbor) bool {
+	if len(reported) != len(current) {
+		return false
+	}
+	for i := range reported {
+		if reported[i] != current[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// noteIfChanged compares a k-NN query's result against its reported
+// snapshot, records a change and refreshes the snapshot.
+func (e *Engine) noteIfChanged(qu *query) {
+	cur := qu.best.items
+	if reportedEqual(qu.reported, cur) {
+		return
+	}
+	qu.reported = append(qu.reported[:0], cur...)
+	e.changed[qu.id] = true
+}
+
+// noteRangeIfChanged does the same for a range query.
+func (e *Engine) noteRangeIfChanged(rq *rangeQuery) {
+	cur := e.RangeResult(rq.id)
+	if reportedEqual(rq.reported, cur) {
+		return
+	}
+	rq.reported = cur
+	e.changed[rq.id] = true
+}
+
+// noteRemoved reports a query's disappearance as a final change.
+func (e *Engine) noteRemoved(id model.QueryID) {
+	if e.changed != nil {
+		e.changed[id] = true
+	}
+}
+
+// ChangedQueries returns the ids of queries whose results changed during
+// the last ProcessBatch (including queries that moved, were installed or
+// were terminated by it), in ascending order. The set resets at the start
+// of every cycle.
+func (e *Engine) ChangedQueries() []model.QueryID {
+	if len(e.changed) == 0 {
+		return nil
+	}
+	out := make([]model.QueryID, 0, len(e.changed))
+	for id := range e.changed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,307 @@
+// Package core implements CPM — the Conceptual Partitioning Monitoring
+// method of Mouratidis, Hadjieleftheriou and Papadias (SIGMOD 2005) — for
+// continuous (aggregate, optionally constrained) k nearest neighbor queries
+// over streams of object location updates.
+//
+// The engine owns a grid index (internal/grid) and a query table holding,
+// per query: its definition, the best_NN result list, best_dist, the visit
+// list and the leftover search heap (paper Figure 3.3a). Searches traverse
+// the conceptual partitioning of internal/conc. The three paper modules map
+// to three files:
+//
+//	search.go     — NN Computation        (Figure 3.4)
+//	recompute.go  — NN Re-Computation     (Figure 3.6)
+//	update.go     — Update Handling + the per-cycle NN Monitoring loop
+//	                (Figures 3.8 and 3.9)
+package core
+
+import (
+	"fmt"
+
+	"cpm/internal/conc"
+	"cpm/internal/geom"
+	"cpm/internal/grid"
+	"cpm/internal/model"
+	"cpm/internal/qheap"
+)
+
+// Options tune engine behaviour. The zero value is the paper's CPM.
+type Options struct {
+	// PerUpdate processes object updates one at a time (Section 3.2)
+	// instead of batching a whole cycle (Section 3.3 / Figure 3.8). It
+	// exists for the ablation study: batching lets incoming objects cancel
+	// outgoing NNs before any re-computation is triggered.
+	PerUpdate bool
+
+	// DropBookkeeping discards the search heap and visit list after every
+	// search, as the paper suggests under memory pressure (end of Section
+	// 3.3). Result maintenance then falls back to NN computation from
+	// scratch whenever re-computation would have run.
+	DropBookkeeping bool
+}
+
+// Engine is the CPM monitor.
+type Engine struct {
+	g       *grid.Grid
+	opts    Options
+	queries map[model.QueryID]*query
+	ranges  map[model.QueryID]*rangeQuery
+
+	stats          model.Stats
+	invalidUpdates int64
+	cycle          int64
+	dirty          []*query      // queries touched by the current cycle
+	dirtyRanges    []*rangeQuery // range queries touched by the current cycle
+
+	// changed collects the queries whose results changed since the last
+	// ProcessBatch began — the notification set of Figure 3.9 line 10.
+	changed map[model.QueryID]bool
+}
+
+// query is one entry of the query table QT (Figure 3.3a).
+type query struct {
+	id  model.QueryID
+	def Def
+
+	best resultList // best_NN; kthDist() is best_dist
+
+	// visit is the visit list: every cell processed by search or
+	// re-computation, in ascending key (mindist/amindist) order. It is a
+	// superset of the influence region.
+	visit []visitEntry
+	// influenceEnd is one past the last visit entry whose cell currently
+	// carries this query in its influence list. Influence cells are always
+	// a prefix of the visit list (keys ≤ best_dist).
+	influenceEnd int
+	// heap holds the entries en-heaped but not de-heaped by the last
+	// search: the cells/strips with key ≥ best_dist, including the four
+	// boundary boxes.
+	heap *qheap.Heap
+
+	// reported is the result as last exposed through ChangedQueries.
+	reported []model.Neighbor
+
+	// Per-cycle update-handling state (Figure 3.8 lines 1–3), initialized
+	// lazily by touch the first time a cycle's update concerns the query.
+	cycleMark int64
+	refDist   float64
+	outCount  int
+	inList    resultList
+	// The paper caps in_list at the k best incomers, which is lossless
+	// when each object issues at most one update per cycle (the stream
+	// model of Section 3). With several updates per object in one batch an
+	// incomer evicted by the cap is unrecoverable if a retained incomer is
+	// later invalidated, so the engine tracks the two conditions and falls
+	// back to re-computation — always correct — when both occur.
+	inDropped      bool // the cap discarded at least one incomer
+	forceRecompute bool // a retained incomer was removed after a discard
+}
+
+type visitEntry struct {
+	cell grid.CellIndex
+	key  float64
+}
+
+// NewEngine creates a CPM engine over a fresh grid of gridSize×gridSize
+// cells spanning the workspace.
+func NewEngine(gridSize int, workspace geom.Rect, opts Options) *Engine {
+	return &Engine{
+		g:       grid.New(gridSize, workspace),
+		opts:    opts,
+		queries: make(map[model.QueryID]*query),
+		ranges:  make(map[model.QueryID]*rangeQuery),
+		changed: make(map[model.QueryID]bool),
+	}
+}
+
+// NewUnitEngine creates an engine over the unit-square workspace.
+func NewUnitEngine(gridSize int, opts Options) *Engine {
+	return NewEngine(gridSize, geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}, opts)
+}
+
+// Name implements model.Monitor.
+func (e *Engine) Name() string { return "CPM" }
+
+// Grid exposes the underlying index (read-mostly: tests, analysis and the
+// harness use it; mutating it behind the engine's back voids the
+// invariants).
+func (e *Engine) Grid() *grid.Grid { return e.g }
+
+// Bootstrap loads the initial object population. It panics if objects are
+// already present: bootstrap happens once, before monitoring starts.
+func (e *Engine) Bootstrap(objs map[model.ObjectID]geom.Point) {
+	if e.g.Count() > 0 {
+		panic("core: Bootstrap on a non-empty engine")
+	}
+	for id, p := range objs {
+		if err := e.g.Insert(id, p); err != nil {
+			panic(fmt.Sprintf("core: bootstrap insert: %v", err))
+		}
+	}
+}
+
+// RegisterQuery installs a conventional k-NN query and computes its initial
+// result (paper Figure 3.4).
+func (e *Engine) RegisterQuery(id model.QueryID, q geom.Point, k int) error {
+	return e.Register(id, PointQuery(q, k))
+}
+
+// Register installs a query of any supported definition and computes its
+// initial result.
+func (e *Engine) Register(id model.QueryID, def Def) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	if _, exists := e.queries[id]; exists {
+		return fmt.Errorf("core: query %d already installed", id)
+	}
+	if _, exists := e.ranges[id]; exists {
+		return fmt.Errorf("core: query %d already installed as a range query", id)
+	}
+	qu := &query{
+		id:     id,
+		def:    def,
+		best:   newResultList(def.K),
+		inList: newResultList(def.K),
+		heap:   qheap.New(16),
+	}
+	e.queries[id] = qu
+	e.compute(qu)
+	qu.reported = qu.best.snapshot()
+	e.changed[id] = true
+	return nil
+}
+
+// RemoveQuery uninstalls a query of either kind (k-NN or range), clearing
+// its influence entries. Unknown IDs are a no-op.
+func (e *Engine) RemoveQuery(id model.QueryID) {
+	if qu, ok := e.queries[id]; ok {
+		e.clearInfluence(qu)
+		delete(e.queries, id)
+		e.noteRemoved(id)
+		return
+	}
+	if rq, ok := e.ranges[id]; ok {
+		e.clearRange(rq)
+		delete(e.ranges, id)
+		e.noteRemoved(id)
+	}
+}
+
+// MoveQuery relocates an installed query. Per Section 3.3 the move is a
+// termination plus a re-installation at the new location(s); the query
+// keeps its id, k, aggregate and constraint.
+func (e *Engine) MoveQuery(id model.QueryID, points []geom.Point) error {
+	qu, ok := e.queries[id]
+	if !ok {
+		return fmt.Errorf("core: move of unknown query %d", id)
+	}
+	if len(points) != len(qu.def.Points) {
+		return fmt.Errorf("core: query %d move with %d points, want %d",
+			id, len(points), len(qu.def.Points))
+	}
+	def := qu.def
+	def.Points = points
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	e.clearInfluence(qu)
+	qu.def = def
+	e.compute(qu)
+	e.noteIfChanged(qu)
+	return nil
+}
+
+// Result implements model.Monitor.
+func (e *Engine) Result(id model.QueryID) []model.Neighbor {
+	qu, ok := e.queries[id]
+	if !ok {
+		return nil
+	}
+	return qu.best.snapshot()
+}
+
+// BestDist returns the query's current best_dist (+Inf while the result
+// holds fewer than k objects), for tests and the analysis harness.
+func (e *Engine) BestDist(id model.QueryID) float64 {
+	qu, ok := e.queries[id]
+	if !ok {
+		return 0
+	}
+	return qu.best.kthDist()
+}
+
+// QueryIDs returns the ids of all installed queries.
+func (e *Engine) QueryIDs() []model.QueryID {
+	ids := make([]model.QueryID, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Stats implements model.Monitor. Cell accesses come from the shared grid
+// counter; the remaining counters are engine-local.
+func (e *Engine) Stats() model.Stats {
+	s := e.stats
+	s.CellAccesses = e.g.CellAccesses()
+	return s
+}
+
+// InvalidUpdates returns how many stream updates were dropped as
+// inconsistent (unknown ids, duplicate inserts, …).
+func (e *Engine) InvalidUpdates() int64 { return e.invalidUpdates }
+
+// Bookkeeping returns the sizes of a query's stored search state: the
+// visit-list length, the leftover heap length, and the influence-region
+// prefix length. Their sum corresponds to the paper's C_SH + C_inf terms;
+// the analysis validation experiment compares them against the Section 4.1
+// estimates.
+func (e *Engine) Bookkeeping(id model.QueryID) (visit, heap, influence int) {
+	qu, ok := e.queries[id]
+	if !ok {
+		return 0, 0, 0
+	}
+	return len(qu.visit), qu.heap.Len(), qu.influenceEnd
+}
+
+// MemoryFootprint returns the engine's size in the abstract memory units of
+// Section 4.1: the grid term 3·N + Σ influence entries plus, per query,
+// 3 units for id and coordinates, 2·k for the result and 3 per visit-list
+// or heap entry (+4 boundary boxes live in the heap itself).
+func (e *Engine) MemoryFootprint() int64 {
+	units := e.g.MemoryFootprint()
+	for _, qu := range e.queries {
+		units += int64(3*len(qu.def.Points) + 2*qu.def.K)
+		units += int64(3 * (len(qu.visit) + qu.heap.Len()))
+	}
+	return units
+}
+
+// clearInfluence removes the query from the influence lists of all cells in
+// its influence prefix and resets its book-keeping.
+func (e *Engine) clearInfluence(qu *query) {
+	for _, ve := range qu.visit[:qu.influenceEnd] {
+		e.g.RemoveInfluence(ve.cell, qu.id)
+	}
+	qu.visit = qu.visit[:0]
+	qu.influenceEnd = 0
+	qu.heap.Reset()
+}
+
+// partitionFor builds the conceptual partitioning around the query's
+// center block: the cell of the (single) query point, or the cells covering
+// the MBR M of the point set (Section 5, Figure 5.1a).
+func (e *Engine) partitionFor(def Def) conc.Partition {
+	var block conc.Block
+	if def.single() {
+		col, row := e.g.ColRow(def.Points[0])
+		block = conc.CellBlock(col, row)
+	} else {
+		m := geom.MBR(def.Points)
+		cLo, rLo := e.g.ColRow(m.Lo)
+		cHi, rHi := e.g.ColRow(m.Hi)
+		block = conc.Block{ColLo: cLo, ColHi: cHi, RowLo: rLo, RowHi: rHi}
+	}
+	return conc.NewPartition(e.g.Size(), e.g.Delta(), e.g.Workspace().Lo, block)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cpm/internal/geom"
+	"cpm/internal/grid"
+	"cpm/internal/model"
+)
+
+// Continuous range monitoring on the CPM substrate.
+//
+// The paper's related work (Q-index, MQM, Mobieyes, SINA — Section 2) is
+// entirely about continuous *range* queries; CPM's machinery subsumes them
+// naturally: a range query's influence region is simply the cells
+// intersecting the disk (center, radius) — fixed while the query stands
+// still — and its result is maintained purely from the updates routed
+// through the influence lists. No search ever needs to resume: membership
+// is decided per object by one distance comparison, so range monitoring
+// needs neither a visit list nor a search heap.
+
+// rangeQuery is the query-table entry of a continuous range query.
+type rangeQuery struct {
+	id     model.QueryID
+	center geom.Point
+	radius float64
+
+	members map[model.ObjectID]float64 // current result: object -> distance
+	cells   []grid.CellIndex           // influence cells (disk cover)
+
+	reported  []model.Neighbor // result as last exposed through ChangedQueries
+	cycleMark int64            // dedupe marker for the per-cycle touch list
+}
+
+// RegisterRange installs a continuous range query: it continuously reports
+// every object within radius of center.
+func (e *Engine) RegisterRange(id model.QueryID, center geom.Point, radius float64) error {
+	if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return fmt.Errorf("core: invalid range radius %v", radius)
+	}
+	if !finitePoint(center) {
+		return fmt.Errorf("core: non-finite range center %v", center)
+	}
+	if _, exists := e.queries[id]; exists {
+		return fmt.Errorf("core: query %d already installed", id)
+	}
+	if _, exists := e.ranges[id]; exists {
+		return fmt.Errorf("core: query %d already installed", id)
+	}
+	rq := &rangeQuery{
+		id:      id,
+		center:  center,
+		radius:  radius,
+		members: make(map[model.ObjectID]float64),
+	}
+	e.ranges[id] = rq
+	e.evaluateRange(rq)
+	rq.reported = e.RangeResult(id)
+	e.changed[id] = true
+	return nil
+}
+
+// evaluateRange computes the result from scratch and installs the
+// influence entries for the disk cover.
+func (e *Engine) evaluateRange(rq *rangeQuery) {
+	e.stats.FullSearches++
+	e.g.CellsInCircle(rq.center, rq.radius, func(c grid.CellIndex) {
+		e.g.AddInfluence(c, rq.id)
+		rq.cells = append(rq.cells, c)
+		e.g.ScanObjects(c, func(id model.ObjectID, p geom.Point) {
+			e.stats.ObjectsProcessed++
+			if d := geom.Dist(p, rq.center); d <= rq.radius {
+				rq.members[id] = d
+			}
+		})
+	})
+}
+
+// clearRange removes the query's influence entries and result.
+func (e *Engine) clearRange(rq *rangeQuery) {
+	for _, c := range rq.cells {
+		e.g.RemoveInfluence(c, rq.id)
+	}
+	rq.cells = rq.cells[:0]
+	for id := range rq.members {
+		delete(rq.members, id)
+	}
+}
+
+// MoveRange relocates a continuous range query. Like a moving k-NN query
+// (Section 3.3), the move is a termination plus a fresh installation.
+func (e *Engine) MoveRange(id model.QueryID, center geom.Point) error {
+	rq, ok := e.ranges[id]
+	if !ok {
+		return fmt.Errorf("core: move of unknown range query %d", id)
+	}
+	if !finitePoint(center) {
+		return fmt.Errorf("core: non-finite range center %v", center)
+	}
+	e.clearRange(rq)
+	rq.center = center
+	e.evaluateRange(rq)
+	e.noteRangeIfChanged(rq)
+	return nil
+}
+
+// rangeUpdate folds one object event into every range query whose
+// influence lists route it here. leaving is the update's old cell (NoCell
+// for inserts), entering the new one (NoCell for deletes).
+func (e *Engine) rangeScan(c grid.CellIndex, id model.ObjectID, pos geom.Point, present bool, ignored map[model.QueryID]bool) {
+	e.g.ForEachInfluence(c, func(qid model.QueryID) {
+		rq, ok := e.ranges[qid]
+		if !ok {
+			return
+		}
+		if ignored != nil && ignored[qid] {
+			return
+		}
+		if rq.cycleMark != e.cycle {
+			rq.cycleMark = e.cycle
+			e.dirtyRanges = append(e.dirtyRanges, rq)
+		}
+		if !present {
+			delete(rq.members, id)
+			return
+		}
+		if d := geom.Dist(pos, rq.center); d <= rq.radius {
+			rq.members[id] = d
+		} else {
+			delete(rq.members, id)
+		}
+	})
+}
+
+// IsRange reports whether id names an installed range query.
+func (e *Engine) IsRange(id model.QueryID) bool {
+	_, ok := e.ranges[id]
+	return ok
+}
+
+// RangeResult returns the current members of a range query ordered by
+// (distance, id), or nil for unknown ids. The caller owns the slice.
+func (e *Engine) RangeResult(id model.QueryID) []model.Neighbor {
+	rq, ok := e.ranges[id]
+	if !ok {
+		return nil
+	}
+	out := make([]model.Neighbor, 0, len(rq.members))
+	for oid, d := range rq.members {
+		out = append(out, model.Neighbor{ID: oid, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func finitePoint(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsNaN(p.Y) && !math.IsInf(p.X, 0) && !math.IsInf(p.Y, 0)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"cpm/internal/geom"
+	"cpm/internal/grid"
+	"cpm/internal/model"
+)
+
+// ProcessBatch runs one processing cycle: the NN Monitoring loop of Figure
+// 3.9. It first handles the object updates U_P (ignoring queries that have
+// their own updates this cycle, whose results are obsolete anyway), then
+// applies the query updates U_q — terminations, moves (a move is a
+// termination plus a fresh installation, Section 3.3) — and leaves every
+// installed query's result current.
+//
+// Inconsistent stream elements (moves or deletes of unknown objects,
+// duplicate inserts, updates for unknown queries) are dropped and counted
+// in InvalidUpdates; a monitoring server must outlive a misbehaving client.
+func (e *Engine) ProcessBatch(b model.Batch) {
+	clear(e.changed)
+	var ignored map[model.QueryID]bool
+	if len(b.Queries) > 0 {
+		ignored = make(map[model.QueryID]bool, len(b.Queries))
+		for _, qu := range b.Queries {
+			ignored[qu.ID] = true
+		}
+	}
+
+	if e.opts.PerUpdate {
+		// Ablation X2: Section 3.2 semantics — each update is classified
+		// and resolved on its own, so an outgoing NN triggers
+		// re-computation even when a later update this cycle would have
+		// compensated for it.
+		for _, u := range b.Objects {
+			e.cycle++
+			e.applyObjectUpdate(u, ignored)
+			e.resolveDirty()
+		}
+	} else {
+		e.cycle++
+		for _, u := range b.Objects {
+			e.applyObjectUpdate(u, ignored)
+		}
+		e.resolveDirty()
+	}
+
+	for _, qu := range b.Queries {
+		switch qu.Kind {
+		case model.QueryTerminate:
+			_, isNN := e.queries[qu.ID]
+			_, isRange := e.ranges[qu.ID]
+			if !isNN && !isRange {
+				e.invalidUpdates++
+				continue
+			}
+			e.RemoveQuery(qu.ID)
+		case model.QueryMove:
+			if _, isRange := e.ranges[qu.ID]; isRange {
+				if len(qu.NewPoints) != 1 || e.MoveRange(qu.ID, qu.NewPoints[0]) != nil {
+					e.invalidUpdates++
+				}
+				continue
+			}
+			if err := e.MoveQuery(qu.ID, qu.NewPoints); err != nil {
+				e.invalidUpdates++
+			}
+		case model.QueryInstall:
+			// Installations happen through Register, which computes the
+			// initial result immediately; the stream entry is a no-op kept
+			// for symmetry with the paper's U_q.
+		default:
+			e.invalidUpdates++
+		}
+	}
+}
+
+// touch lazily initializes a query's per-cycle update-handling state
+// (Figure 3.8 lines 1–3) the first time an update concerns it, and records
+// it for resolution. refDist freezes best_dist at its start-of-cycle value:
+// incomer/outgoer classification must use the influence-region radius, not
+// a value drifting as the result mutates mid-cycle.
+func (e *Engine) touch(qu *query) {
+	if qu.cycleMark == e.cycle {
+		return
+	}
+	qu.cycleMark = e.cycle
+	qu.refDist = qu.best.kthDist()
+	qu.outCount = 0
+	qu.inList.reset()
+	qu.inDropped = false
+	qu.forceRecompute = false
+	e.dirty = append(e.dirty, qu)
+}
+
+// applyObjectUpdate applies one element of U_P to the grid and performs the
+// influence-list scans of Figure 3.8 (lines 4–16), extended with insert and
+// delete events: a deleted NN is an outgoing NN ("CPM trivially deals with
+// off-line NNs by treating them as outgoing ones", Section 4.2).
+func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]bool) {
+	switch u.Kind {
+	case model.Move:
+		if !finitePoint(u.New) {
+			e.invalidUpdates++
+			return
+		}
+		oldCell, newCell, err := e.g.Move(u.ID, u.New)
+		if err != nil {
+			e.invalidUpdates++
+			return
+		}
+		e.scanOldCell(u.ID, u.New, oldCell, ignored)
+		e.scanNewCell(u.ID, u.New, newCell, ignored)
+		e.rangeScan(oldCell, u.ID, u.New, true, ignored)
+		if newCell != oldCell {
+			e.rangeScan(newCell, u.ID, u.New, true, ignored)
+		}
+	case model.Insert:
+		if !finitePoint(u.New) {
+			e.invalidUpdates++
+			return
+		}
+		if err := e.g.Insert(u.ID, u.New); err != nil {
+			e.invalidUpdates++
+			return
+		}
+		newCell := e.g.CellOf(u.New)
+		e.scanNewCell(u.ID, u.New, newCell, ignored)
+		e.rangeScan(newCell, u.ID, u.New, true, ignored)
+	case model.Delete:
+		pos, ok := e.g.Position(u.ID)
+		if !ok {
+			e.invalidUpdates++
+			return
+		}
+		oldCell := e.g.CellOf(pos)
+		if err := e.g.Delete(u.ID); err != nil {
+			e.invalidUpdates++
+			return
+		}
+		e.g.ForEachInfluence(oldCell, func(qid model.QueryID) {
+			qu := e.lookupActive(qid, ignored)
+			if qu == nil {
+				return
+			}
+			e.touch(qu)
+			if qu.best.remove(u.ID) {
+				qu.outCount++
+			}
+			qu.dropIncomer(u.ID)
+		})
+		e.rangeScan(oldCell, u.ID, pos, false, ignored)
+	default:
+		e.invalidUpdates++
+	}
+}
+
+// scanOldCell handles lines 6–12 of Figure 3.8 for the cell the object
+// left: a current NN either has its order updated (it stays within
+// refDist) or becomes an outgoing NN. A pending incomer that moved again is
+// dropped from in_list; scanNewCell re-admits it if it still qualifies.
+func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex, ignored map[model.QueryID]bool) {
+	e.g.ForEachInfluence(c, func(qid model.QueryID) {
+		qu := e.lookupActive(qid, ignored)
+		if qu == nil {
+			return
+		}
+		e.touch(qu)
+		if !qu.best.contains(id) {
+			qu.dropIncomer(id)
+			return
+		}
+		d := qu.def.dist(newPos)
+		if d <= qu.refDist && qu.def.admits(newPos) {
+			qu.best.updateDist(id, d)
+		} else {
+			qu.best.remove(id)
+			qu.outCount++
+		}
+	})
+}
+
+// scanNewCell handles lines 14–16 of Figure 3.8 for the cell the object
+// entered: an object other than a current NN that lies within refDist (and
+// inside the constraint region, if any) is an incoming object.
+func (e *Engine) scanNewCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex, ignored map[model.QueryID]bool) {
+	e.g.ForEachInfluence(c, func(qid model.QueryID) {
+		qu := e.lookupActive(qid, ignored)
+		if qu == nil {
+			return
+		}
+		e.touch(qu)
+		if qu.best.contains(id) {
+			return
+		}
+		d := qu.def.dist(newPos)
+		if d <= qu.refDist && qu.def.admits(newPos) {
+			qu.dropIncomer(id) // refresh a pending incomer's distance
+			if qu.inList.full() {
+				qu.inDropped = true // the offer will discard some incomer
+			}
+			qu.inList.offer(id, d)
+		} else {
+			qu.dropIncomer(id)
+		}
+	})
+}
+
+// dropIncomer removes a pending incomer. If the capped in_list previously
+// discarded an incomer, the discarded one might have ranked better than
+// what remains, so losing a retained entry afterwards makes the in_list an
+// unreliable top-k and the query must re-compute (see the query struct).
+func (qu *query) dropIncomer(id model.ObjectID) {
+	if qu.inList.remove(id) && qu.inDropped {
+		qu.forceRecompute = true
+	}
+}
+
+func (e *Engine) lookupActive(qid model.QueryID, ignored map[model.QueryID]bool) *query {
+	if ignored != nil && ignored[qid] {
+		return nil
+	}
+	return e.queries[qid]
+}
+
+// resolveDirty performs lines 17–24 of Figure 3.8 for every query touched
+// this cycle: if the incoming objects are at least as many as the outgoing
+// NNs, the new result is the k best of best_NN ∪ in_list — the circle of
+// radius refDist provably still holds k objects, so no grid access is
+// needed. Otherwise the NN Re-Computation module runs. Either way the
+// influence region is re-tightened to the new best_dist.
+func (e *Engine) resolveDirty() {
+	for _, qu := range e.dirty {
+		if !qu.forceRecompute && qu.inList.len() >= qu.outCount {
+			e.stats.ShortCircuits++
+			for _, n := range qu.inList.items {
+				qu.best.offer(n.ID, n.Dist)
+			}
+			e.shrinkInfluence(qu)
+		} else {
+			e.recompute(qu)
+		}
+		qu.outCount = 0
+		qu.inList.reset()
+		e.noteIfChanged(qu)
+	}
+	e.dirty = e.dirty[:0]
+	for _, rq := range e.dirtyRanges {
+		e.noteRangeIfChanged(rq)
+	}
+	e.dirtyRanges = e.dirtyRanges[:0]
+}

@@ -1,0 +1,113 @@
+package geom
+
+import "math"
+
+// sqrt is a local alias so rect.go stays free of a math import cycle check;
+// it compiles to the same SQRTSD instruction.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Agg identifies the aggregate function of an aggregate nearest neighbor
+// (ANN) query: a monotonically increasing function f over the individual
+// distances dist(p, q_i) between a data object p and each query point
+// q_i ∈ Q (paper Section 5).
+type Agg uint8
+
+const (
+	// AggSum minimizes the total distance the |Q| users travel to meet at
+	// the reported object: adist(p,Q) = Σ_i dist(p, q_i).
+	AggSum Agg = iota
+	// AggMin reports the object closest to any single query point:
+	// adist(p,Q) = min_i dist(p, q_i).
+	AggMin
+	// AggMax minimizes the distance of the farthest user, i.e. the earliest
+	// time all users can gather: adist(p,Q) = max_i dist(p, q_i).
+	AggMax
+)
+
+// String returns the paper's name for the aggregate function.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "agg(?)"
+	}
+}
+
+// Valid reports whether a is one of the three supported aggregates.
+func (a Agg) Valid() bool { return a <= AggMax }
+
+// AggDist returns adist(p, Q) under aggregate a.
+// It panics on an empty Q: every ANN query has at least one point.
+func AggDist(a Agg, p Point, q []Point) float64 {
+	if len(q) == 0 {
+		panic("geom: AggDist with empty query set")
+	}
+	switch a {
+	case AggSum:
+		s := 0.0
+		for _, qi := range q {
+			s += Dist(p, qi)
+		}
+		return s
+	case AggMin:
+		best := math.Inf(1)
+		for _, qi := range q {
+			if d := Dist(p, qi); d < best {
+				best = d
+			}
+		}
+		return best
+	case AggMax:
+		worst := 0.0
+		for _, qi := range q {
+			if d := Dist(p, qi); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	default:
+		panic("geom: unknown aggregate")
+	}
+}
+
+// AggMinDist returns amindist(r, Q) under aggregate a: the aggregate of the
+// per-point minimum distances to rectangle r. Because each mindist lower
+// bounds dist(p, q_i) for every p ∈ r and f is monotone, amindist(r, Q)
+// lower bounds adist(p, Q) for every p ∈ r — the pruning bound used by the
+// ANN search module (paper Section 5).
+func AggMinDist(a Agg, r Rect, q []Point) float64 {
+	if len(q) == 0 {
+		panic("geom: AggMinDist with empty query set")
+	}
+	switch a {
+	case AggSum:
+		s := 0.0
+		for _, qi := range q {
+			s += r.MinDist(qi)
+		}
+		return s
+	case AggMin:
+		best := math.Inf(1)
+		for _, qi := range q {
+			if d := r.MinDist(qi); d < best {
+				best = d
+			}
+		}
+		return best
+	case AggMax:
+		worst := 0.0
+		for _, qi := range q {
+			if d := r.MinDist(qi); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	default:
+		panic("geom: unknown aggregate")
+	}
+}

@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	return pts
+}
+
+func TestAggString(t *testing.T) {
+	cases := map[Agg]string{AggSum: "sum", AggMin: "min", AggMax: "max", Agg(9): "agg(?)"}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Agg(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+	if !AggSum.Valid() || !AggMax.Valid() || Agg(3).Valid() {
+		t.Error("Agg.Valid misclassifies")
+	}
+}
+
+func TestAggDistSinglePointReducesToDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		q := []Point{{rng.Float64(), rng.Float64()}}
+		d := Dist(p, q[0])
+		for _, a := range []Agg{AggSum, AggMin, AggMax} {
+			if got := AggDist(a, p, q); !almostEq(got, d) {
+				t.Errorf("%v single-point AggDist = %v, want %v", a, got, d)
+			}
+		}
+	}
+}
+
+func TestAggDistKnownValues(t *testing.T) {
+	p := Point{0, 0}
+	q := []Point{{3, 4}, {0, 1}, {6, 8}}
+	if got := AggDist(AggSum, p, q); !almostEq(got, 5+1+10) {
+		t.Errorf("sum = %v, want 16", got)
+	}
+	if got := AggDist(AggMin, p, q); !almostEq(got, 1) {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := AggDist(AggMax, p, q); !almostEq(got, 10) {
+		t.Errorf("max = %v, want 10", got)
+	}
+}
+
+// TestAggMinDistLowerBound verifies the ANN pruning bound of Section 5:
+// amindist(r, Q) <= adist(p, Q) for every p in r, for every aggregate.
+func TestAggMinDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		r := randRect(rng)
+		q := randPoints(rng, 1+rng.Intn(6))
+		p := Point{
+			r.Lo.X + rng.Float64()*r.Width(),
+			r.Lo.Y + rng.Float64()*r.Height(),
+		}
+		for _, a := range []Agg{AggSum, AggMin, AggMax} {
+			lb := AggMinDist(a, r, q)
+			d := AggDist(a, p, q)
+			if d < lb-1e-12 {
+				t.Fatalf("%v: adist=%v < amindist=%v (r=%v q=%v p=%v)", a, d, lb, r, q, p)
+			}
+		}
+	}
+}
+
+// TestAggMinDistTight verifies that the bound is attained when the rect
+// degenerates to a point.
+func TestAggMinDistTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		r := Rect{Lo: p, Hi: p}
+		q := randPoints(rng, 1+rng.Intn(5))
+		for _, a := range []Agg{AggSum, AggMin, AggMax} {
+			if lb, d := AggMinDist(a, r, q), AggDist(a, p, q); !almostEq(lb, d) {
+				t.Fatalf("%v: degenerate rect amindist=%v != adist=%v", a, lb, d)
+			}
+		}
+	}
+}
+
+func TestAggDistMonotoneInQ(t *testing.T) {
+	// Adding a query point never decreases sum or max, never increases min.
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		q := randPoints(rng, 1+rng.Intn(5))
+		more := append(append([]Point{}, q...), Point{rng.Float64(), rng.Float64()})
+		if AggDist(AggSum, p, more) < AggDist(AggSum, p, q)-1e-12 {
+			t.Fatal("sum decreased when adding a query point")
+		}
+		if AggDist(AggMax, p, more) < AggDist(AggMax, p, q)-1e-12 {
+			t.Fatal("max decreased when adding a query point")
+		}
+		if AggDist(AggMin, p, more) > AggDist(AggMin, p, q)+1e-12 {
+			t.Fatal("min increased when adding a query point")
+		}
+	}
+}
+
+func TestAggEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"AggDist":    func() { AggDist(AggSum, Point{}, nil) },
+		"AggMinDist": func() { AggMinDist(AggSum, Rect{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty Q) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAggUnknownPanics(t *testing.T) {
+	bad := Agg(250)
+	q := []Point{{0, 0}}
+	for name, f := range map[string]func(){
+		"AggDist":    func() { AggDist(bad, Point{}, q) },
+		"AggMinDist": func() { AggMinDist(bad, Rect{}, q) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(bad agg) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAggMinDistInsideRect(t *testing.T) {
+	// All query points inside the rect: amindist must be 0 for every agg.
+	r := Rect{Lo: Point{0, 0}, Hi: Point{1, 1}}
+	q := []Point{{0.2, 0.2}, {0.8, 0.9}}
+	for _, a := range []Agg{AggSum, AggMin, AggMax} {
+		if got := AggMinDist(a, r, q); got != 0 {
+			t.Errorf("%v AggMinDist with Q inside rect = %v, want 0", a, got)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package geom
+
+// Rect is a closed axis-aligned rectangle [Lo.X, Hi.X] × [Lo.Y, Hi.Y].
+//
+// Grid cells, conceptual partitioning strips and constraint regions are all
+// Rects. A Rect may extend beyond the workspace: conceptual strips around a
+// query near the border do, and distance computations remain well defined.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// Contains reports whether p lies inside r (borders inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Intersects reports whether r and s share at least one point
+// (touching edges count).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Lo.X <= s.Hi.X && s.Lo.X <= r.Hi.X &&
+		r.Lo.Y <= s.Hi.Y && s.Lo.Y <= r.Hi.Y
+}
+
+// Width returns the extent of r along the x axis.
+func (r Rect) Width() float64 { return r.Hi.X - r.Lo.X }
+
+// Height returns the extent of r along the y axis.
+func (r Rect) Height() float64 { return r.Hi.Y - r.Lo.Y }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Lo.X + r.Hi.X) / 2, Y: (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// MinDist returns mindist(r, q): the minimum possible Euclidean distance
+// between q and any point of r. It is zero when q lies inside r.
+//
+// This is the pruning bound at the heart of CPM's search: for every object
+// p ∈ c, dist(p,q) ≥ MinDist(c,q), so a cell whose MinDist is not below
+// best_dist cannot improve the current result (paper Section 3.1).
+func (r Rect) MinDist(q Point) float64 {
+	dx := axisDist(q.X, r.Lo.X, r.Hi.X)
+	dy := axisDist(q.Y, r.Lo.Y, r.Hi.Y)
+	if dx == 0 {
+		return dy
+	}
+	if dy == 0 {
+		return dx
+	}
+	return hypot(dx, dy)
+}
+
+// MaxDist returns the maximum possible Euclidean distance between q and any
+// point of r (the distance to the farthest corner). It is used by tests and
+// by the analysis module.
+func (r Rect) MaxDist(q Point) float64 {
+	dx := maxAbs(q.X-r.Lo.X, r.Hi.X-q.X)
+	dy := maxAbs(q.Y-r.Lo.Y, r.Hi.Y-q.Y)
+	return hypot(dx, dy)
+}
+
+// IntersectsCircle reports whether r intersects the disk with the given
+// center and radius. SEA-CNN's answer regions and CPM's influence regions
+// are disks; their cell cover is "cells c with MinDist(c,center) ≤ radius".
+func (r Rect) IntersectsCircle(center Point, radius float64) bool {
+	return r.MinDist(center) <= radius
+}
+
+// axisDist returns the one-dimensional distance from v to the interval
+// [lo, hi]; zero when v lies inside it.
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+func maxAbs(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hypot(dx, dy float64) float64 {
+	// math.Hypot guards against overflow that cannot occur with workspace
+	// coordinates; the direct form is measurably faster on the search path.
+	return sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Lo: Point{0.2, 0.2}, Hi: Point{0.6, 0.8}}
+	in := []Point{{0.2, 0.2}, {0.6, 0.8}, {0.4, 0.5}, {0.2, 0.8}}
+	out := []Point{{0.1, 0.5}, {0.7, 0.5}, {0.4, 0.1}, {0.4, 0.9}}
+	for _, p := range in {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range out {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Lo: Point{0, 0}, Hi: Point{1, 1}}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{Point{0.5, 0.5}, Point{2, 2}}, true},
+		{Rect{Point{1, 1}, Point{2, 2}}, true}, // touching corner counts
+		{Rect{Point{1.1, 0}, Point{2, 1}}, false},
+		{Rect{Point{-1, -1}, Point{-0.1, 2}}, false},
+		{Rect{Point{0.2, 0.2}, Point{0.3, 0.3}}, true}, // containment
+		{Rect{Point{-1, -1}, Point{2, 2}}, true},       // contained by
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects symmetric (%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinDistExactCases(t *testing.T) {
+	r := Rect{Lo: Point{1, 1}, Hi: Point{2, 2}}
+	cases := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{1.5, 1.5}, 0},      // inside
+		{Point{1, 1}, 0},          // on corner
+		{Point{0, 1.5}, 1},        // left
+		{Point{3, 1.5}, 1},        // right
+		{Point{1.5, 0}, 1},        // below
+		{Point{1.5, 3.5}, 1.5},    // above
+		{Point{0, 0}, math.Sqrt2}, // corner diagonal
+		{Point{3, 3}, math.Sqrt2},
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.q); !almostEq(got, c.want) {
+			t.Errorf("MinDist(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestMinDistLowerBound is the property CPM's pruning rests on:
+// for any point p inside r, Dist(p,q) >= r.MinDist(q).
+func TestMinDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng)
+		q := Point{rng.Float64()*3 - 1, rng.Float64()*3 - 1}
+		p := Point{
+			r.Lo.X + rng.Float64()*r.Width(),
+			r.Lo.Y + rng.Float64()*r.Height(),
+		}
+		if d, m := Dist(p, q), r.MinDist(q); d < m-1e-12 {
+			t.Fatalf("dist(%v,%v)=%v < mindist(%v)=%v", p, q, d, r, m)
+		}
+		if d, M := Dist(p, q), r.MaxDist(q); d > M+1e-12 {
+			t.Fatalf("dist(%v,%v)=%v > maxdist(%v)=%v", p, q, d, r, M)
+		}
+	}
+}
+
+// TestMinDistMatchesSampling cross-checks MinDist against a dense grid
+// sample of the rectangle.
+func TestMinDistMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		r := randRect(rng)
+		q := Point{rng.Float64()*3 - 1, rng.Float64()*3 - 1}
+		best := math.Inf(1)
+		const steps = 20
+		for xi := 0; xi <= steps; xi++ {
+			for yi := 0; yi <= steps; yi++ {
+				p := Point{
+					r.Lo.X + r.Width()*float64(xi)/steps,
+					r.Lo.Y + r.Height()*float64(yi)/steps,
+				}
+				if d := Dist(p, q); d < best {
+					best = d
+				}
+			}
+		}
+		m := r.MinDist(q)
+		if m > best+1e-9 {
+			t.Fatalf("MinDist(%v,%v)=%v exceeds sampled min %v", r, q, m, best)
+		}
+		// The sampled minimum cannot be more than half a diagonal grid step
+		// below the true minimum.
+		step := hypot(r.Width()/steps, r.Height()/steps)
+		if best-m > step {
+			t.Fatalf("MinDist(%v,%v)=%v too far below sampled min %v", r, q, m, best)
+		}
+	}
+}
+
+func TestIntersectsCircle(t *testing.T) {
+	r := Rect{Lo: Point{1, 1}, Hi: Point{2, 2}}
+	cases := []struct {
+		c      Point
+		radius float64
+		want   bool
+	}{
+		{Point{1.5, 1.5}, 0.01, true}, // center inside
+		{Point{0, 1.5}, 1.0, true},    // tangent counts
+		{Point{0, 1.5}, 0.99, false},
+		{Point{0, 0}, 1.5, true}, // corner within radius
+		{Point{0, 0}, 1.0, false},
+	}
+	for _, c := range cases {
+		if got := r.IntersectsCircle(c.c, c.radius); got != c.want {
+			t.Errorf("IntersectsCircle(%v, %v) = %v, want %v", c.c, c.radius, got, c.want)
+		}
+	}
+}
+
+func TestRectAccessors(t *testing.T) {
+	r := Rect{Lo: Point{0.25, 0.5}, Hi: Point{0.75, 1.5}}
+	if !almostEq(r.Width(), 0.5) {
+		t.Errorf("Width = %v, want 0.5", r.Width())
+	}
+	if !almostEq(r.Height(), 1.0) {
+		t.Errorf("Height = %v, want 1.0", r.Height())
+	}
+	if c := r.Center(); !almostEq(c.X, 0.5) || !almostEq(c.Y, 1.0) {
+		t.Errorf("Center = %v, want {0.5 1.0}", c)
+	}
+}
+
+func TestMinDistZeroInsideProperty(t *testing.T) {
+	f := func(lox, loy, w, h, fx, fy float64) bool {
+		r := Rect{
+			Lo: Point{clamp01(lox), clamp01(loy)},
+		}
+		r.Hi = Point{r.Lo.X + clamp01(w), r.Lo.Y + clamp01(h)}
+		p := Point{
+			r.Lo.X + clamp01(fx)*r.Width(),
+			r.Lo.Y + clamp01(fy)*r.Height(),
+		}
+		return r.MinDist(p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	lo := Point{rng.Float64(), rng.Float64()}
+	return Rect{
+		Lo: lo,
+		Hi: Point{lo.X + rng.Float64(), lo.Y + rng.Float64()},
+	}
+}

@@ -1,0 +1,151 @@
+// Package grid implements the regular main-memory grid index that all three
+// monitoring methods (CPM, YPK-CNN, SEA-CNN) share, following Section 3 and
+// Figure 3.3 of the paper.
+//
+// The workspace is partitioned into Size×Size square cells of side δ =
+// extent/Size. Cell c_{i,j} (column i, row j, counted from the low-left
+// corner) holds the objects with x ∈ [i·δ, (i+1)·δ) and y ∈ [j·δ, (j+1)·δ);
+// conversely an object at (x,y) belongs to c_{⌊x/δ⌋,⌊y/δ⌋}. Each cell keeps
+// (i) the set of objects inside it and (ii) the influence list — the queries
+// whose influence (or answer) region contains the cell.
+//
+// Object and influence sets are hash tables, as the paper prescribes, so
+// deletion and insertion take expected constant time (Time_ind = 2 in the
+// Section 4.1 model). The grid also owns the object position store and the
+// cell-access counter that backs Figure 6.3b.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"cpm/internal/geom"
+	"cpm/internal/model"
+)
+
+// CellIndex addresses a cell as j*Size + i. The value -1 means "no cell".
+type CellIndex int32
+
+// NoCell is the sentinel CellIndex.
+const NoCell CellIndex = -1
+
+// Cell holds the per-cell book-keeping of Figure 3.3: the object list and
+// the influence list. Maps are created lazily; empty cells of a fine grid
+// cost two nil pointers each.
+type Cell struct {
+	objects   map[model.ObjectID]struct{}
+	influence map[model.QueryID]struct{}
+}
+
+// Grid is the object index.
+type Grid struct {
+	size      int       // cells per dimension
+	delta     float64   // cell side length δ
+	workspace geom.Rect // indexed area; points outside are clamped to border cells
+	cells     []Cell
+
+	positions []geom.Point // dense object position store, indexed by ObjectID
+	alive     []bool
+
+	count        int   // live objects
+	cellAccesses int64 // complete scans of cell object lists
+}
+
+// New creates a grid of size×size cells over the given workspace.
+// It panics on a non-positive size or an empty workspace: grid geometry is
+// fixed at construction and an invalid one is a programming error.
+func New(size int, workspace geom.Rect) *Grid {
+	if size <= 0 {
+		panic(fmt.Sprintf("grid: non-positive size %d", size))
+	}
+	if workspace.Width() <= 0 || workspace.Height() <= 0 {
+		panic(fmt.Sprintf("grid: degenerate workspace %+v", workspace))
+	}
+	if workspace.Width() != workspace.Height() {
+		// The paper's cells are square (δ×δ). Rectangular workspaces would
+		// make δ ambiguous; the generator normalizes to the unit square.
+		panic(fmt.Sprintf("grid: workspace must be square, got %+v", workspace))
+	}
+	return &Grid{
+		size:      size,
+		delta:     workspace.Width() / float64(size),
+		workspace: workspace,
+		cells:     make([]Cell, size*size),
+	}
+}
+
+// NewUnit creates a grid over the unit square [0,1]×[0,1], the canonical
+// workspace of the paper's analysis and experiments.
+func NewUnit(size int) *Grid {
+	return New(size, geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}})
+}
+
+// Size returns the number of cells per dimension.
+func (g *Grid) Size() int { return g.size }
+
+// Delta returns the cell side length δ.
+func (g *Grid) Delta() float64 { return g.delta }
+
+// Workspace returns the indexed area.
+func (g *Grid) Workspace() geom.Rect { return g.workspace }
+
+// Count returns the number of live objects.
+func (g *Grid) Count() int { return g.count }
+
+// ColRow returns the column and row of the cell covering p. Points on or
+// beyond the workspace border are clamped into the border cells, so every
+// point maps to a valid cell.
+func (g *Grid) ColRow(p geom.Point) (int, int) {
+	i := int(math.Floor((p.X - g.workspace.Lo.X) / g.delta))
+	j := int(math.Floor((p.Y - g.workspace.Lo.Y) / g.delta))
+	return clamp(i, g.size), clamp(j, g.size)
+}
+
+func clamp(v, size int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= size {
+		return size - 1
+	}
+	return v
+}
+
+// CellOf returns the index of the cell covering p.
+func (g *Grid) CellOf(p geom.Point) CellIndex {
+	i, j := g.ColRow(p)
+	return g.Index(i, j)
+}
+
+// Index converts (col, row) to a CellIndex, or NoCell when out of range.
+func (g *Grid) Index(col, row int) CellIndex {
+	if col < 0 || col >= g.size || row < 0 || row >= g.size {
+		return NoCell
+	}
+	return CellIndex(row*g.size + col)
+}
+
+// Split converts a CellIndex back to (col, row).
+func (g *Grid) Split(c CellIndex) (int, int) {
+	return int(c) % g.size, int(c) / g.size
+}
+
+// CellRect returns the geometric extent of cell (col, row).
+func (g *Grid) CellRect(col, row int) geom.Rect {
+	lo := geom.Point{
+		X: g.workspace.Lo.X + float64(col)*g.delta,
+		Y: g.workspace.Lo.Y + float64(row)*g.delta,
+	}
+	return geom.Rect{Lo: lo, Hi: geom.Point{X: lo.X + g.delta, Y: lo.Y + g.delta}}
+}
+
+// RectOf returns the geometric extent of cell c.
+func (g *Grid) RectOf(c CellIndex) geom.Rect {
+	col, row := g.Split(c)
+	return g.CellRect(col, row)
+}
+
+// MinDist returns mindist(c, q) for cell c.
+func (g *Grid) MinDist(c CellIndex, q geom.Point) float64 {
+	return g.RectOf(c).MinDist(q)
+}

@@ -1,0 +1,171 @@
+package grid
+
+import (
+	"fmt"
+
+	"cpm/internal/geom"
+	"cpm/internal/model"
+)
+
+// ensureID grows the position store to cover id.
+func (g *Grid) ensureID(id model.ObjectID) {
+	if int(id) < len(g.positions) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(g.positions) {
+		n = 2 * len(g.positions)
+	}
+	pos := make([]geom.Point, n)
+	copy(pos, g.positions)
+	g.positions = pos
+	alive := make([]bool, n)
+	copy(alive, g.alive)
+	g.alive = alive
+}
+
+// Insert adds a new object at p. Inserting an id that is already live is an
+// error in the update stream and is reported rather than silently merged.
+func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
+	if id < 0 {
+		return fmt.Errorf("grid: negative object id %d", id)
+	}
+	g.ensureID(id)
+	if g.alive[id] {
+		return fmt.Errorf("grid: insert of live object %d", id)
+	}
+	g.alive[id] = true
+	g.positions[id] = p
+	c := &g.cells[g.CellOf(p)]
+	if c.objects == nil {
+		c.objects = make(map[model.ObjectID]struct{})
+	}
+	c.objects[id] = struct{}{}
+	g.count++
+	return nil
+}
+
+// Delete removes a live object. Deleting an unknown or dead object is
+// reported: the monitoring methods rely on the stream being consistent.
+func (g *Grid) Delete(id model.ObjectID) error {
+	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
+		return fmt.Errorf("grid: delete of unknown object %d", id)
+	}
+	c := g.CellOf(g.positions[id])
+	delete(g.cells[c].objects, id)
+	g.alive[id] = false
+	g.count--
+	return nil
+}
+
+// Move relocates a live object to p and returns the old and new cells.
+// When both are the same cell only the stored position changes.
+func (g *Grid) Move(id model.ObjectID, p geom.Point) (oldCell, newCell CellIndex, err error) {
+	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
+		return NoCell, NoCell, fmt.Errorf("grid: move of unknown object %d", id)
+	}
+	oldCell = g.CellOf(g.positions[id])
+	newCell = g.CellOf(p)
+	g.positions[id] = p
+	if oldCell != newCell {
+		delete(g.cells[oldCell].objects, id)
+		cn := &g.cells[newCell]
+		if cn.objects == nil {
+			cn.objects = make(map[model.ObjectID]struct{})
+		}
+		cn.objects[id] = struct{}{}
+	}
+	return oldCell, newCell, nil
+}
+
+// Position returns the current location of a live object.
+func (g *Grid) Position(id model.ObjectID) (geom.Point, bool) {
+	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
+		return geom.Point{}, false
+	}
+	return g.positions[id], true
+}
+
+// Alive reports whether id is a live object.
+func (g *Grid) Alive(id model.ObjectID) bool {
+	return id >= 0 && int(id) < len(g.alive) && g.alive[id]
+}
+
+// Len returns the number of objects in cell c without counting an access.
+func (g *Grid) Len(c CellIndex) int {
+	return len(g.cells[c].objects)
+}
+
+// ScanObjects invokes fn for every object in cell c and counts one cell
+// access — the unit reported in Figure 6.3b ("a cell visit corresponds to a
+// complete scan over the object list in the cell"). All monitoring methods
+// must read cell contents through this method so access counts compare
+// fairly.
+func (g *Grid) ScanObjects(c CellIndex, fn func(id model.ObjectID, p geom.Point)) {
+	g.cellAccesses++
+	for id := range g.cells[c].objects {
+		fn(id, g.positions[id])
+	}
+}
+
+// ForEachObject iterates over all live objects (no access accounting); the
+// brute-force oracle and the harness use it.
+func (g *Grid) ForEachObject(fn func(id model.ObjectID, p geom.Point)) {
+	for id, ok := range g.alive {
+		if ok {
+			fn(model.ObjectID(id), g.positions[id])
+		}
+	}
+}
+
+// CellAccesses returns the cumulative cell-access counter.
+func (g *Grid) CellAccesses() int64 { return g.cellAccesses }
+
+// AddInfluence records query q in the influence list of cell c
+// (paper Figure 3.3b). Adding an existing entry is a no-op.
+func (g *Grid) AddInfluence(c CellIndex, q model.QueryID) {
+	cell := &g.cells[c]
+	if cell.influence == nil {
+		cell.influence = make(map[model.QueryID]struct{})
+	}
+	cell.influence[q] = struct{}{}
+}
+
+// RemoveInfluence removes query q from the influence list of cell c.
+// Removing an absent entry is a no-op.
+func (g *Grid) RemoveInfluence(c CellIndex, q model.QueryID) {
+	delete(g.cells[c].influence, q)
+}
+
+// HasInfluence reports whether q is in the influence list of c.
+func (g *Grid) HasInfluence(c CellIndex, q model.QueryID) bool {
+	_, ok := g.cells[c].influence[q]
+	return ok
+}
+
+// InfluenceLen returns the size of the influence list of c.
+func (g *Grid) InfluenceLen(c CellIndex) int {
+	return len(g.cells[c].influence)
+}
+
+// ForEachInfluence invokes fn for every query in the influence list of c.
+// fn must not mutate the influence list of c.
+func (g *Grid) ForEachInfluence(c CellIndex, fn func(q model.QueryID)) {
+	for q := range g.cells[c].influence {
+		fn(q)
+	}
+}
+
+// InfluenceQueries returns the influence list of c as a fresh slice, for
+// callers that must mutate influence lists while iterating.
+func (g *Grid) InfluenceQueries(c CellIndex) []model.QueryID {
+	cell := &g.cells[c]
+	if len(cell.influence) == 0 {
+		return nil
+	}
+	qs := make([]model.QueryID, 0, len(cell.influence))
+	for q := range cell.influence {
+		qs = append(qs, q)
+	}
+	return qs
+}

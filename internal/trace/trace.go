@@ -1,0 +1,138 @@
+// Package trace reads and writes workload traces: a gob-encoded header
+// (generator parameters, initial object positions, initial query points)
+// followed by one update batch per timestamp. Traces make experiment
+// streams repeatable across processes and let external tooling consume the
+// exact streams the harness uses; cmd/wlgen is the command-line front end.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cpm/internal/generator"
+	"cpm/internal/geom"
+	"cpm/internal/model"
+	"cpm/internal/network"
+)
+
+// Header describes a trace.
+type Header struct {
+	Params     generator.Params
+	Net        network.GenOptions
+	Timestamps int
+	Objects    map[model.ObjectID]geom.Point
+	Queries    []geom.Point
+}
+
+// Writer streams a trace to an io.Writer.
+type Writer struct {
+	enc     *gob.Encoder
+	left    int
+	started bool
+}
+
+// NewWriter writes the header immediately and expects exactly
+// header.Timestamps batches to follow.
+func NewWriter(w io.Writer, header Header) (*Writer, error) {
+	if header.Timestamps < 0 {
+		return nil, fmt.Errorf("trace: negative timestamp count %d", header.Timestamps)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header); err != nil {
+		return nil, fmt.Errorf("trace: encode header: %w", err)
+	}
+	return &Writer{enc: enc, left: header.Timestamps, started: true}, nil
+}
+
+// WriteBatch appends one timestamp's batch. Writing more batches than the
+// header announced is an error.
+func (w *Writer) WriteBatch(b model.Batch) error {
+	if w.left == 0 {
+		return fmt.Errorf("trace: batch count exceeds header timestamps")
+	}
+	w.left--
+	if err := w.enc.Encode(b); err != nil {
+		return fmt.Errorf("trace: encode batch: %w", err)
+	}
+	return nil
+}
+
+// Close verifies the announced batch count was written.
+func (w *Writer) Close() error {
+	if w.left != 0 {
+		return fmt.Errorf("trace: %d announced batches missing", w.left)
+	}
+	return nil
+}
+
+// Record generates a complete trace from a workload and writes it.
+// It returns the total number of stream elements written.
+func Record(w io.Writer, header Header, wl *generator.Workload) (int, error) {
+	tw, err := NewWriter(w, header)
+	if err != nil {
+		return 0, err
+	}
+	updates := 0
+	for i := 0; i < header.Timestamps; i++ {
+		b := wl.Advance()
+		updates += len(b.Objects) + len(b.Queries)
+		if err := tw.WriteBatch(b); err != nil {
+			return updates, err
+		}
+	}
+	return updates, tw.Close()
+}
+
+// Reader streams a trace from an io.Reader.
+type Reader struct {
+	dec    *gob.Decoder
+	header Header
+	left   int
+}
+
+// NewReader decodes the header and prepares batch iteration.
+func NewReader(r io.Reader) (*Reader, error) {
+	dec := gob.NewDecoder(r)
+	var hdr Header
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if hdr.Timestamps < 0 {
+		return nil, fmt.Errorf("trace: corrupt header: %d timestamps", hdr.Timestamps)
+	}
+	return &Reader{dec: dec, header: hdr, left: hdr.Timestamps}, nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next batch, or io.EOF after the last announced one.
+func (r *Reader) Next() (model.Batch, error) {
+	if r.left == 0 {
+		return model.Batch{}, io.EOF
+	}
+	var b model.Batch
+	if err := r.dec.Decode(&b); err != nil {
+		return model.Batch{}, fmt.Errorf("trace: decode batch: %w", err)
+	}
+	r.left--
+	return b, nil
+}
+
+// Replay feeds the remaining batches of a trace into a monitor, returning
+// the number of cycles processed.
+func Replay(r *Reader, mon model.Monitor) (int, error) {
+	cycles := 0
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return cycles, nil
+		}
+		if err != nil {
+			return cycles, err
+		}
+		mon.ProcessBatch(b)
+		cycles++
+	}
+}

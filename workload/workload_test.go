@@ -1,0 +1,61 @@
+package workload_test
+
+import (
+	"testing"
+
+	"cpm"
+	"cpm/workload"
+)
+
+// TestWorkloadFeedsMonitor is the public-API round trip: generate a
+// workload, feed it to a CPM monitor, watch results stay fresh.
+func TestWorkloadFeedsMonitor(t *testing.T) {
+	w, err := workload.New(
+		workload.CityOptions{Width: 8, Height: 8, Seed: 3},
+		workload.Params{
+			N: 200, NumQueries: 5,
+			ObjectSpeed: workload.Fast, QuerySpeed: workload.Medium,
+			ObjectAgility: 0.5, QueryAgility: 0.3, Seed: 4,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpm.NewMonitor(cpm.Options{GridSize: 32})
+	m.Bootstrap(w.InitialObjects())
+	if m.ObjectCount() != 200 || w.ObjectCount() != 200 {
+		t.Fatalf("population mismatch: monitor %d, workload %d", m.ObjectCount(), w.ObjectCount())
+	}
+	for i, q := range w.InitialQueries() {
+		if err := m.RegisterQuery(cpm.QueryID(i), q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ts := 0; ts < 10; ts++ {
+		m.Tick(w.Advance())
+		for i := 0; i < 5; i++ {
+			if got := m.Result(cpm.QueryID(i)); len(got) != 3 {
+				t.Fatalf("ts %d q%d: %d results", ts, i, len(got))
+			}
+		}
+	}
+	if m.InvalidUpdates() != 0 {
+		t.Fatalf("workload stream flagged invalid: %d", m.InvalidUpdates())
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	if _, err := workload.New(workload.CityOptions{Width: 1, Height: 1}, workload.DefaultParams(0.001)); err == nil {
+		t.Error("degenerate city accepted")
+	}
+	if _, err := workload.New(workload.CityOptions{Width: 8, Height: 8}, workload.Params{N: 0}); err == nil {
+		t.Error("empty population accepted")
+	}
+}
+
+func TestDefaultParamsPublic(t *testing.T) {
+	p := workload.DefaultParams(0.01)
+	if p.N != 1000 || p.NumQueries != 50 {
+		t.Errorf("DefaultParams(0.01) = %+v", p)
+	}
+}
