@@ -1,0 +1,41 @@
+# Local dev and CI run the same commands: .github/workflows/ci.yml invokes
+# the same go invocations these targets wrap.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-json fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-sensitive packages: the sharded monitor's fan-out, the conceptual
+# partitioning it traverses, and the engine it drives in parallel.
+race:
+	$(GO) test -race ./internal/shard/... ./internal/conc/... ./internal/core/...
+
+# One iteration of every benchmark — keeps benchmark code compiling and
+# running without paying for a full measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Machine-readable method comparison for trajectory tracking.
+bench-json:
+	$(GO) run ./cmd/cpmbench -exp none -scale 0.01 -ts 5 -json BENCH_local.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench

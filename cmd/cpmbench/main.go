@@ -8,6 +8,13 @@
 //	cpmbench -list
 //	cpmbench -exp fig6.1,fig6.3b -scale 0.05 -ts 20
 //	cpmbench -exp all -scale 0.02 -csvdir results/
+//	cpmbench -exp none -json BENCH_main.json -shards 8
+//
+// -shards sets the worker count of the CPM-shard method column (default:
+// all usable cores). -json additionally runs the default-setting method
+// comparison and writes machine-readable results (time/ns, cell accesses,
+// allocs per method) for benchmark trajectory tracking; combine with
+// -exp none to write only the JSON.
 //
 // -scale multiplies the paper's population sizes (1.0 = N=100K objects and
 // n=5K queries; the default 0.05 runs every experiment on a laptop in
@@ -28,15 +35,22 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale  = flag.Float64("scale", 0.05, "population scale (1.0 = paper's N=100K, n=5K)")
-		ts     = flag.Int("ts", 20, "timestamps per simulation (paper: 100)")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		grid   = flag.Int("grid", 128, "default grid size (cells per dimension)")
-		csvdir = flag.String("csvdir", "", "directory for per-experiment CSV output (optional)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, 'all', or 'none'")
+		scale    = flag.Float64("scale", 0.05, "population scale (1.0 = paper's N=100K, n=5K)")
+		ts       = flag.Int("ts", 20, "timestamps per simulation (paper: 100)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		grid     = flag.Int("grid", 128, "default grid size (cells per dimension)")
+		csvdir   = flag.String("csvdir", "", "directory for per-experiment CSV output (optional)")
+		shards   = flag.Int("shards", 0, "CPM-shard worker count (0 = all usable cores)")
+		jsonPath = flag.String("json", "", "write the method comparison as machine-readable JSON to this file")
 	)
 	flag.Parse()
+
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "cpmbench: -shards must be non-negative (0 = all usable cores)\n")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -46,9 +60,15 @@ func main() {
 	}
 
 	var selected []bench.Experiment
-	if *exp == "all" {
+	switch *exp {
+	case "all":
 		selected = bench.All()
-	} else {
+	case "none":
+		if *jsonPath == "" {
+			fmt.Fprintf(os.Stderr, "cpmbench: -exp none without -json runs nothing\n")
+			os.Exit(2)
+		}
+	default:
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := bench.ByID(strings.TrimSpace(id))
 			if !ok {
@@ -59,9 +79,17 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Scale: *scale, Timestamps: *ts, Seed: *seed, GridSize: *grid}
-	fmt.Printf("cpmbench: scale=%.3g ts=%d grid=%d seed=%d (%d experiments)\n\n",
-		*scale, *ts, *grid, *seed, len(selected))
+	opts := bench.Options{Scale: *scale, Timestamps: *ts, Seed: *seed, GridSize: *grid, Shards: *shards}
+	fmt.Printf("cpmbench: scale=%.3g ts=%d grid=%d seed=%d shards=%d (%d experiments)\n\n",
+		*scale, *ts, *grid, *seed, bench.ResolveShards(*shards), len(selected))
+
+	if *jsonPath != "" {
+		fmt.Fprintf(os.Stderr, "running method comparison for %s ...\n", *jsonPath)
+		if err := bench.WriteReport(*jsonPath, opts, bench.AllMethods); err != nil {
+			fmt.Fprintf(os.Stderr, "cpmbench: json report: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "running %s ...\n", e.ID)

@@ -6,8 +6,11 @@
 // Usage:
 //
 //	cpmsim -method CPM -n 5000 -queries 50 -k 8 -ts 30 -watch 3
+//	cpmsim -method CPM -shards 4 -n 20000 -queries 500
 //
 // -watch selects how many queries get their results printed each cycle.
+// -shards > 1 runs the CPM method as a sharded parallel monitor (results
+// are identical; cycles run one goroutine per shard).
 package main
 
 import (
@@ -35,19 +38,32 @@ func main() {
 		fobj       = flag.Float64("fobj", 0.5, "object agility (fraction updating per timestamp)")
 		fqry       = flag.Float64("fqry", 0.3, "query agility")
 		watch      = flag.Int("watch", 2, "queries whose results are printed each cycle")
+		shards     = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
 	)
 	flag.Parse()
 
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "cpmsim: -shards must be non-negative (0 = all usable cores)\n")
+		os.Exit(2)
+	}
+	nShards := bench.ResolveShards(*shards)
 	var method bench.Method
 	switch *methodName {
 	case "CPM":
 		method = bench.CPM
+		if nShards > 1 {
+			method = bench.CPMSharded
+		}
 	case "YPK":
 		method = bench.YPK
 	case "SEA":
 		method = bench.SEA
 	default:
 		fmt.Fprintf(os.Stderr, "cpmsim: unknown method %q\n", *methodName)
+		os.Exit(2)
+	}
+	if nShards > 1 && method != bench.CPMSharded {
+		fmt.Fprintf(os.Stderr, "cpmsim: -shards applies to the CPM method only\n")
 		os.Exit(2)
 	}
 	var spd generator.Speed
@@ -77,7 +93,7 @@ func main() {
 		fatal(err)
 	}
 
-	mon := method.New(*gridSize)
+	mon := method.NewMonitor(*gridSize, nShards)
 	mon.Bootstrap(w.InitialObjects())
 	start := time.Now()
 	for i, q := range w.InitialQueries() {

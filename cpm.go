@@ -36,6 +36,7 @@ import (
 	"cpm/internal/core"
 	"cpm/internal/geom"
 	"cpm/internal/model"
+	"cpm/internal/shard"
 )
 
 var errRangeMove = errors.New("cpm: a range query moves with exactly one point")
@@ -125,6 +126,16 @@ type Options struct {
 	// search, and affected queries recompute from scratch (the paper's
 	// memory-pressure fallback).
 	DropBookkeeping bool
+	// Shards runs the monitor as N hash-partitioned worker shards: every
+	// Tick fans the update batch out to one goroutine per shard and merges
+	// the results, parallelizing the per-query monitoring work across
+	// cores. Results, change notifications and work counters are exactly
+	// those of the single-engine monitor; the price is one grid replica
+	// per shard (object positions must be exact everywhere), so memory
+	// grows with the shard count. 0 or 1 keeps the single-engine path.
+	// Useful from a few hundred queries up on a multi-core machine; see
+	// internal/shard's BenchmarkTick.
+	Shards int
 }
 
 func (o *Options) defaults() {
@@ -136,25 +147,55 @@ func (o *Options) defaults() {
 	}
 }
 
+// backend is the method set shared by the single engine and the sharded
+// monitor; Monitor delegates to whichever Options selected. It embeds the
+// cross-method model.Monitor contract and adds the CPM-only surface.
+type backend interface {
+	model.Monitor
+	Register(id QueryID, def core.Def) error
+	RegisterRange(id QueryID, center Point, radius float64) error
+	IsRange(id QueryID) bool
+	MoveQuery(id QueryID, points []Point) error
+	MoveRange(id QueryID, center Point) error
+	RangeResult(id QueryID) []Neighbor
+	BestDist(id QueryID) float64
+	ObjectPosition(id ObjectID) (Point, bool)
+	ObjectCount() int
+	ChangedQueries() []QueryID
+	InvalidUpdates() int64
+	MemoryFootprint() int64
+}
+
+var (
+	_ backend = (*core.Engine)(nil)
+	_ backend = (*shard.Monitor)(nil)
+)
+
 // Monitor continuously maintains the results of registered queries over a
 // stream of object location updates, using the CPM algorithm.
 //
 // Monitor is not safe for concurrent use: the paper's setting is a single
 // processing loop consuming a stream, and that is the supported model.
 // Wrap it in a mutex if updates and reads come from different goroutines.
+// (With Options.Shards > 1 each Tick parallelizes internally, but the
+// external contract is unchanged: one caller at a time.)
 type Monitor struct {
-	e *core.Engine
+	e backend
 }
 
-// NewMonitor creates a CPM monitor.
+// NewMonitor creates a CPM monitor: a single engine, or — with
+// Options.Shards > 1 — a sharded monitor that partitions the queries
+// across parallel worker shards with identical results.
 func NewMonitor(opts Options) *Monitor {
 	opts.defaults()
-	return &Monitor{
-		e: core.NewEngine(opts.GridSize, opts.Workspace, core.Options{
-			PerUpdate:       opts.PerUpdate,
-			DropBookkeeping: opts.DropBookkeeping,
-		}),
+	copts := core.Options{
+		PerUpdate:       opts.PerUpdate,
+		DropBookkeeping: opts.DropBookkeeping,
 	}
+	if opts.Shards > 1 {
+		return &Monitor{e: shard.New(opts.Shards, opts.GridSize, opts.Workspace, copts)}
+	}
+	return &Monitor{e: core.NewEngine(opts.GridSize, opts.Workspace, copts)}
 }
 
 // Bootstrap loads the initial object population. Call once, before
@@ -217,13 +258,13 @@ func (m *Monitor) InsertObject(id ObjectID, p Point) {
 
 // MoveObject relocates a single object immediately (a one-update cycle).
 func (m *Monitor) MoveObject(id ObjectID, to Point) {
-	old, _ := m.e.Grid().Position(id)
+	old, _ := m.e.ObjectPosition(id)
 	m.e.ProcessBatch(Batch{Objects: []Update{MoveUpdate(id, old, to)}})
 }
 
 // DeleteObject removes a single object immediately (a one-update cycle).
 func (m *Monitor) DeleteObject(id ObjectID) {
-	old, _ := m.e.Grid().Position(id)
+	old, _ := m.e.ObjectPosition(id)
 	m.e.ProcessBatch(Batch{Objects: []Update{DeleteUpdate(id, old)}})
 }
 
@@ -244,11 +285,11 @@ func (m *Monitor) BestDist(id QueryID) float64 { return m.e.BestDist(id) }
 
 // ObjectPosition returns the current position of a live object.
 func (m *Monitor) ObjectPosition(id ObjectID) (Point, bool) {
-	return m.e.Grid().Position(id)
+	return m.e.ObjectPosition(id)
 }
 
 // ObjectCount returns the number of live objects.
-func (m *Monitor) ObjectCount() int { return m.e.Grid().Count() }
+func (m *Monitor) ObjectCount() int { return m.e.ObjectCount() }
 
 // ChangedQueries returns the ids of queries whose results changed since
 // the last Tick began — the per-cycle client notification set of the

@@ -237,3 +237,88 @@ func TestMonitorRangeValidation(t *testing.T) {
 		t.Error("range over existing kNN id accepted")
 	}
 }
+
+// TestMonitorShardedAgreesWithSingle drives the whole public API surface —
+// point, aggregate, constrained and range queries, ticks, single-object
+// shortcuts and query moves — through a sharded monitor and a single-engine
+// monitor, asserting identical observable behavior.
+func TestMonitorShardedAgreesWithSingle(t *testing.T) {
+	single := NewMonitor(Options{GridSize: 16})
+	sharded := NewMonitor(Options{GridSize: 16, Shards: 4})
+	both := []*Monitor{single, sharded}
+	for _, m := range both {
+		m.Bootstrap(seedObjects())
+		if err := m.RegisterQuery(1, Point{X: 0.5, Y: 0.5}, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterAggQuery(2, []Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}}, 1, AggSum); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterConstrainedQuery(3, Point{X: 0.5, Y: 0.5}, 1,
+			Rect{Lo: Point{X: 0.55, Y: 0.55}, Hi: Point{X: 1, Y: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterRangeQuery(4, Point{X: 0.5, Y: 0.5}, 0.15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for qid := QueryID(1); qid <= 4; qid++ {
+			a, b := single.Result(qid), sharded.Result(qid)
+			if len(a) != len(b) {
+				t.Fatalf("%s q%d: single %v, sharded %v", stage, qid, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s q%d: single %v, sharded %v", stage, qid, a, b)
+				}
+			}
+			if single.BestDist(qid) != sharded.BestDist(qid) {
+				t.Fatalf("%s q%d: BestDist %v vs %v", stage, qid, single.BestDist(qid), sharded.BestDist(qid))
+			}
+		}
+		ca, cb := single.ChangedQueries(), sharded.ChangedQueries()
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: changed %v vs %v", stage, ca, cb)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("%s: changed %v vs %v", stage, ca, cb)
+			}
+		}
+		if single.ObjectCount() != sharded.ObjectCount() {
+			t.Fatalf("%s: ObjectCount %d vs %d", stage, single.ObjectCount(), sharded.ObjectCount())
+		}
+	}
+	compare("initial")
+	for _, m := range both {
+		m.Tick(Batch{Objects: []Update{
+			MoveUpdate(4, Point{X: 0.9, Y: 0.9}, Point{X: 0.52, Y: 0.53}),
+			MoveUpdate(1, Point{X: 0.1, Y: 0.1}, Point{X: 0.12, Y: 0.12}),
+		}})
+	}
+	compare("after tick")
+	for _, m := range both {
+		m.InsertObject(10, Point{X: 0.5, Y: 0.5})
+		m.MoveObject(3, Point{X: 0.45, Y: 0.45})
+		m.DeleteObject(2)
+	}
+	compare("after single-object ops")
+	for _, m := range both {
+		if err := m.MoveQuery(1, Point{X: 0.2, Y: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.MoveQuery(4, Point{X: 0.45, Y: 0.45}); err != nil {
+			t.Fatal(err)
+		}
+		m.Tick(Batch{Queries: []QueryUpdate{{ID: 3, Kind: QueryTerminate}}})
+	}
+	compare("after query churn")
+	if got := sharded.Result(3); got != nil {
+		t.Fatalf("terminated query still answering: %v", got)
+	}
+	if single.InvalidUpdates() != sharded.InvalidUpdates() {
+		t.Fatalf("InvalidUpdates: %d vs %d", single.InvalidUpdates(), sharded.InvalidUpdates())
+	}
+}

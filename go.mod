@@ -1,0 +1,3 @@
+module cpm
+
+go 1.24

@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -25,7 +28,7 @@ func tinyConfig() Config {
 }
 
 func TestMethodNamesAndConstruction(t *testing.T) {
-	for _, m := range []Method{CPM, YPK, SEA, CPMPerUpdate, CPMDropBookkeeping} {
+	for _, m := range []Method{CPM, YPK, SEA, CPMPerUpdate, CPMDropBookkeeping, CPMSharded} {
 		if m.String() == "" || strings.HasPrefix(m.String(), "method(") {
 			t.Errorf("method %d has no name", m)
 		}
@@ -153,6 +156,49 @@ func TestSmallExperimentsRun(t *testing.T) {
 		if !strings.Contains(csv, ",") || len(strings.Split(csv, "\n")) < len(tbl.Rows)+1 {
 			t.Errorf("%s: CSV malformed", id)
 		}
+	}
+}
+
+// TestShardedMatchesCPMCounters pins the harness-level equivalence: the
+// sharded method does exactly the work of single-engine CPM on the same
+// workload (wall-clock differs; counters must not).
+func TestShardedMatchesCPMCounters(t *testing.T) {
+	a, err := RunMethod(CPM, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMethod(CPMSharded, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("sharded work diverged from CPM: %+v vs %+v", b.Stats, a.Stats)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteReport(path, tinyOptions(), []Method{CPM, CPMSharded}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(rep.Methods) != 2 {
+		t.Fatalf("report holds %d methods, want 2", len(rep.Methods))
+	}
+	for _, mr := range rep.Methods {
+		if mr.Method == "" || mr.TotalNs <= 0 || mr.CellAccesses <= 0 || mr.Mallocs == 0 {
+			t.Errorf("implausible method result: %+v", mr)
+		}
+	}
+	if rep.GOMAXPROCS <= 0 || rep.Shards <= 0 {
+		t.Errorf("environment fields missing: %+v", rep)
 	}
 }
 

@@ -19,6 +19,8 @@ type Options struct {
 	Timestamps int
 	Seed       int64
 	GridSize   int
+	// Shards is the CPMSharded worker count (0 = all usable cores).
+	Shards int
 }
 
 func (o *Options) defaults() {
@@ -46,6 +48,7 @@ func baseConfig(o Options) Config {
 		GridSize:   o.GridSize,
 		K:          16,
 		Timestamps: o.Timestamps,
+		Shards:     o.Shards,
 		Net:        network.GenOptions{Width: 32, Height: 32, Seed: o.Seed},
 		Gen:        gen,
 	}

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"cpm/internal/baseline"
@@ -15,6 +16,7 @@ import (
 	"cpm/internal/generator"
 	"cpm/internal/model"
 	"cpm/internal/network"
+	"cpm/internal/shard"
 )
 
 // Method selects a monitoring algorithm (or an ablated CPM variant).
@@ -31,6 +33,9 @@ const (
 	// CPMDropBookkeeping is ablation X1: the memory-pressure fallback
 	// that recomputes from scratch instead of replaying the visit list.
 	CPMDropBookkeeping
+	// CPMSharded is the parallel monitor of internal/shard: queries
+	// hash-partitioned across Config.Shards worker shards, results exact.
+	CPMSharded
 )
 
 // String returns the method's display name.
@@ -46,16 +51,25 @@ func (m Method) String() string {
 		return "CPM-perupd"
 	case CPMDropBookkeeping:
 		return "CPM-nobook"
+	case CPMSharded:
+		return "CPM-shard"
 	default:
 		return fmt.Sprintf("method(%d)", uint8(m))
 	}
 }
 
-// AllMethods is the comparison set of the paper's figures.
-var AllMethods = []Method{CPM, YPK, SEA}
+// AllMethods is the comparison set of the paper's figures, extended with
+// the sharded monitor so every table reports the parallel speedup next to
+// CPM and the baselines.
+var AllMethods = []Method{CPM, CPMSharded, YPK, SEA}
 
-// New constructs a fresh monitor of the method over a unit-square grid.
-func (m Method) New(gridSize int) model.Monitor {
+// New constructs a fresh monitor of the method over a unit-square grid,
+// with CPMSharded at its default worker count (all usable cores).
+func (m Method) New(gridSize int) model.Monitor { return m.NewMonitor(gridSize, 0) }
+
+// NewMonitor constructs a fresh monitor of the method over a unit-square
+// grid. shards applies to CPMSharded only (0 = all usable cores).
+func (m Method) NewMonitor(gridSize, shards int) model.Monitor {
 	switch m {
 	case CPM:
 		return core.NewUnitEngine(gridSize, core.Options{})
@@ -67,9 +81,19 @@ func (m Method) New(gridSize int) model.Monitor {
 		return core.NewUnitEngine(gridSize, core.Options{PerUpdate: true})
 	case CPMDropBookkeeping:
 		return core.NewUnitEngine(gridSize, core.Options{DropBookkeeping: true})
+	case CPMSharded:
+		return shard.NewUnit(ResolveShards(shards), gridSize, core.Options{})
 	default:
 		panic(fmt.Sprintf("bench: unknown method %d", m))
 	}
+}
+
+// ResolveShards applies the "0 means all usable cores" default.
+func ResolveShards(shards int) int {
+	if shards > 0 {
+		return shards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Config describes one simulation run.
@@ -77,8 +101,17 @@ type Config struct {
 	GridSize   int
 	K          int
 	Timestamps int
-	Net        network.GenOptions
-	Gen        generator.Params
+	// Shards is the CPMSharded worker count (0 = all usable cores); the
+	// other methods ignore it.
+	Shards int
+	// MeasureAllocs fills Measurement.Mallocs/AllocBytes. It pre-generates
+	// the whole update stream (so the allocation window excludes the
+	// generator) at the price of holding every cycle's batch in memory at
+	// once; leave it off for table sweeps, which stream one batch at a
+	// time and don't report allocations.
+	MeasureAllocs bool
+	Net           network.GenOptions
+	Gen           generator.Params
 }
 
 // Validate reports whether the configuration is runnable.
@@ -102,6 +135,8 @@ type Measurement struct {
 	Registered time.Duration // initial query evaluation time (not in Elapsed)
 	Stats      model.Stats   // work-counter deltas across the cycles
 	Memory     int64         // end-of-run footprint in Section 4.1 units
+	Mallocs    uint64        // heap allocations by registration + monitoring
+	AllocBytes uint64        // bytes allocated by registration + monitoring
 
 	Queries, Timestamps int
 }
@@ -144,10 +179,29 @@ func RunMethod(method Method, cfg Config) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	mon := method.New(cfg.GridSize)
+	mon := method.NewMonitor(cfg.GridSize, cfg.Shards)
 	mon.Bootstrap(w.InitialObjects())
 
+	// With MeasureAllocs the whole update stream is generated up front, so
+	// the allocation window covers registration and monitoring only:
+	// workload generation allocates an identical (and much larger)
+	// constant for every method, which would drown the per-method signal
+	// the JSON trajectory report tracks.
 	queries := w.InitialQueries()
+	var batches []model.Batch
+	if cfg.MeasureAllocs {
+		batches = make([]model.Batch, cfg.Timestamps)
+		for ts := range batches {
+			batches[ts] = w.Advance()
+		}
+	}
+
+	// Mallocs/TotalAlloc are monotonic, so no GC barrier is needed.
+	var msBefore runtime.MemStats
+	if cfg.MeasureAllocs {
+		runtime.ReadMemStats(&msBefore)
+	}
+
 	regStart := time.Now()
 	for i, q := range queries {
 		if err := mon.RegisterQuery(model.QueryID(i), q, cfg.K); err != nil {
@@ -159,7 +213,12 @@ func RunMethod(method Method, cfg Config) (Measurement, error) {
 	statsBase := mon.Stats()
 	var elapsed time.Duration
 	for ts := 0; ts < cfg.Timestamps; ts++ {
-		b := w.Advance()
+		var b model.Batch
+		if cfg.MeasureAllocs {
+			b = batches[ts]
+		} else {
+			b = w.Advance()
+		}
 		start := time.Now()
 		mon.ProcessBatch(b)
 		elapsed += time.Since(start)
@@ -172,6 +231,12 @@ func RunMethod(method Method, cfg Config) (Measurement, error) {
 		Stats:      mon.Stats().Sub(statsBase),
 		Queries:    len(queries),
 		Timestamps: cfg.Timestamps,
+	}
+	if cfg.MeasureAllocs {
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		meas.Mallocs = msAfter.Mallocs - msBefore.Mallocs
+		meas.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
 	}
 	if fp, ok := mon.(footprinter); ok {
 		meas.Memory = fp.MemoryFootprint()

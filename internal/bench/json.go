@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// MethodResult is the machine-readable outcome of running one method over
+// the default-setting workload: wall-clock in nanoseconds, the paper's work
+// counters, and allocation counts, for BENCH_*.json trajectory tracking
+// across commits.
+type MethodResult struct {
+	Method       string `json:"method"`
+	TotalNs      int64  `json:"total_ns"`
+	NsPerCycle   int64  `json:"ns_per_cycle"`
+	RegisterNs   int64  `json:"register_ns"`
+	CellAccesses int64  `json:"cell_accesses"`
+	ObjectsProc  int64  `json:"objects_processed"`
+	HeapOps      int64  `json:"heap_ops"`
+	Recomputes   int64  `json:"recomputations"`
+	FullSearches int64  `json:"full_searches"`
+	ShortCircs   int64  `json:"short_circuits"`
+	Mallocs      uint64 `json:"mallocs"`
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	MemoryUnits  int64  `json:"memory_units"`
+	Queries      int    `json:"queries"`
+	Timestamps   int    `json:"timestamps"`
+}
+
+// Report is the top-level structure of cpmbench's -json output.
+type Report struct {
+	Scale      float64        `json:"scale"`
+	Timestamps int            `json:"timestamps"`
+	GridSize   int            `json:"grid_size"`
+	Seed       int64          `json:"seed"`
+	Shards     int            `json:"shards"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Methods    []MethodResult `json:"methods"`
+}
+
+// RunReport executes every method over the default-setting workload
+// (Table 6.1 at the chosen scale) and collects machine-readable results.
+// Allocation counters are process-wide deltas around each method's
+// registration + monitoring loop (workload generation excluded), so run
+// it in a quiet process (cmd/cpmbench does).
+func RunReport(o Options, methods []Method) (Report, error) {
+	o.defaults()
+	cfg := baseConfig(o)
+	cfg.MeasureAllocs = true
+	rep := Report{
+		Scale:      o.Scale,
+		Timestamps: o.Timestamps,
+		GridSize:   o.GridSize,
+		Seed:       o.Seed,
+		Shards:     ResolveShards(cfg.Shards),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, method := range methods {
+		meas, err := RunMethod(method, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Methods = append(rep.Methods, MethodResult{
+			Method:       method.String(),
+			TotalNs:      meas.Elapsed.Nanoseconds(),
+			NsPerCycle:   meas.PerCycle().Nanoseconds(),
+			RegisterNs:   meas.Registered.Nanoseconds(),
+			CellAccesses: meas.Stats.CellAccesses,
+			ObjectsProc:  meas.Stats.ObjectsProcessed,
+			HeapOps:      meas.Stats.HeapOps,
+			Recomputes:   meas.Stats.Recomputations,
+			FullSearches: meas.Stats.FullSearches,
+			ShortCircs:   meas.Stats.ShortCircuits,
+			Mallocs:      meas.Mallocs,
+			AllocBytes:   meas.AllocBytes,
+			MemoryUnits:  meas.Memory,
+			Queries:      meas.Queries,
+			Timestamps:   meas.Timestamps,
+		})
+	}
+	return rep, nil
+}
+
+// WriteReport runs RunReport and writes the result as indented JSON.
+func WriteReport(path string, o Options, methods []Method) error {
+	rep, err := RunReport(o, methods)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

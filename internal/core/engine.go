@@ -47,8 +47,13 @@ type Engine struct {
 	queries map[model.QueryID]*query
 	ranges  map[model.QueryID]*rangeQuery
 
-	stats          model.Stats
-	invalidUpdates int64
+	stats model.Stats
+	// Invalid stream elements are counted separately per stream. The
+	// sharded monitor (internal/shard) replicates the object stream into
+	// every shard but routes each query update to exactly one shard, so it
+	// needs the two kinds apart to report a non-inflated total.
+	invalidObjects int64
+	invalidQueries int64
 	cycle          int64
 	dirty          []*query      // queries touched by the current cycle
 	dirtyRanges    []*rangeQuery // range queries touched by the current cycle
@@ -250,7 +255,21 @@ func (e *Engine) Stats() model.Stats {
 
 // InvalidUpdates returns how many stream updates were dropped as
 // inconsistent (unknown ids, duplicate inserts, …).
-func (e *Engine) InvalidUpdates() int64 { return e.invalidUpdates }
+func (e *Engine) InvalidUpdates() int64 { return e.invalidObjects + e.invalidQueries }
+
+// InvalidObjectUpdates returns the object-stream share of InvalidUpdates.
+func (e *Engine) InvalidObjectUpdates() int64 { return e.invalidObjects }
+
+// InvalidQueryUpdates returns the query-stream share of InvalidUpdates.
+func (e *Engine) InvalidQueryUpdates() int64 { return e.invalidQueries }
+
+// ObjectPosition returns the current position of a live object.
+func (e *Engine) ObjectPosition(id model.ObjectID) (geom.Point, bool) {
+	return e.g.Position(id)
+}
+
+// ObjectCount returns the number of live objects.
+func (e *Engine) ObjectCount() int { return e.g.Count() }
 
 // Bookkeeping returns the sizes of a query's stored search state: the
 // visit-list length, the leftover heap length, and the influence-region

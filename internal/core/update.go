@@ -50,26 +50,26 @@ func (e *Engine) ProcessBatch(b model.Batch) {
 			_, isNN := e.queries[qu.ID]
 			_, isRange := e.ranges[qu.ID]
 			if !isNN && !isRange {
-				e.invalidUpdates++
+				e.invalidQueries++
 				continue
 			}
 			e.RemoveQuery(qu.ID)
 		case model.QueryMove:
 			if _, isRange := e.ranges[qu.ID]; isRange {
 				if len(qu.NewPoints) != 1 || e.MoveRange(qu.ID, qu.NewPoints[0]) != nil {
-					e.invalidUpdates++
+					e.invalidQueries++
 				}
 				continue
 			}
 			if err := e.MoveQuery(qu.ID, qu.NewPoints); err != nil {
-				e.invalidUpdates++
+				e.invalidQueries++
 			}
 		case model.QueryInstall:
 			// Installations happen through Register, which computes the
 			// initial result immediately; the stream entry is a no-op kept
 			// for symmetry with the paper's U_q.
 		default:
-			e.invalidUpdates++
+			e.invalidQueries++
 		}
 	}
 }
@@ -100,12 +100,20 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 	switch u.Kind {
 	case model.Move:
 		if !finitePoint(u.New) {
-			e.invalidUpdates++
+			e.invalidObjects++
 			return
 		}
 		oldCell, newCell, err := e.g.Move(u.ID, u.New)
 		if err != nil {
-			e.invalidUpdates++
+			e.invalidObjects++
+			return
+		}
+		// Affected-cell pre-filter: with both cells outside every influence
+		// region the Figure 3.8 scans would iterate empty influence lists,
+		// so only the index mutation above is needed. Under the sharded
+		// monitor each shard's influence lists cover only its own queries,
+		// which makes this the per-shard update routing filter.
+		if e.g.InfluenceLen(oldCell) == 0 && e.g.InfluenceLen(newCell) == 0 {
 			return
 		}
 		e.scanOldCell(u.ID, u.New, oldCell, ignored)
@@ -116,25 +124,31 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 		}
 	case model.Insert:
 		if !finitePoint(u.New) {
-			e.invalidUpdates++
+			e.invalidObjects++
 			return
 		}
 		if err := e.g.Insert(u.ID, u.New); err != nil {
-			e.invalidUpdates++
+			e.invalidObjects++
 			return
 		}
 		newCell := e.g.CellOf(u.New)
+		if e.g.InfluenceLen(newCell) == 0 {
+			return
+		}
 		e.scanNewCell(u.ID, u.New, newCell, ignored)
 		e.rangeScan(newCell, u.ID, u.New, true, ignored)
 	case model.Delete:
 		pos, ok := e.g.Position(u.ID)
 		if !ok {
-			e.invalidUpdates++
+			e.invalidObjects++
 			return
 		}
 		oldCell := e.g.CellOf(pos)
 		if err := e.g.Delete(u.ID); err != nil {
-			e.invalidUpdates++
+			e.invalidObjects++
+			return
+		}
+		if e.g.InfluenceLen(oldCell) == 0 {
 			return
 		}
 		e.g.ForEachInfluence(oldCell, func(qid model.QueryID) {
@@ -150,7 +164,7 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 		})
 		e.rangeScan(oldCell, u.ID, pos, false, ignored)
 	default:
-		e.invalidUpdates++
+		e.invalidObjects++
 	}
 }
 

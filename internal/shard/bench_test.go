@@ -1,0 +1,152 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cpm/internal/core"
+	"cpm/internal/geom"
+	"cpm/internal/model"
+	"cpm/internal/shard"
+)
+
+// tickWorkload is a replayable monitoring load: a fixed object population
+// and a ring of pre-generated move-only batches (moves of live ids are
+// always valid, so cycling through the ring never desynchronizes a grid).
+type tickWorkload struct {
+	objs    map[model.ObjectID]geom.Point
+	queries []geom.Point
+	k       int
+	batches []model.Batch
+}
+
+func makeTickWorkload(n, numQueries, k, batchCount int, agility float64, seed int64) *tickWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &tickWorkload{
+		objs: make(map[model.ObjectID]geom.Point, n),
+		k:    k,
+	}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		w.objs[model.ObjectID(i)] = pos[i]
+	}
+	for i := 0; i < numQueries; i++ {
+		w.queries = append(w.queries, geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	for c := 0; c < batchCount; c++ {
+		var b model.Batch
+		for i := range pos {
+			if rng.Float64() >= agility {
+				continue
+			}
+			to := geom.Point{
+				X: clamp(pos[i].X + (rng.Float64()-0.5)*0.05),
+				Y: clamp(pos[i].Y + (rng.Float64()-0.5)*0.05),
+			}
+			b.Objects = append(b.Objects, model.MoveUpdate(model.ObjectID(i), pos[i], to))
+			pos[i] = to
+		}
+		w.batches = append(w.batches, b)
+	}
+	return w
+}
+
+// mount boots a monitor with the workload's population and queries.
+func (w *tickWorkload) mount(tb testing.TB, m monitor) {
+	tb.Helper()
+	m.Bootstrap(w.objs)
+	for i, q := range w.queries {
+		if err := m.RegisterQuery(model.QueryID(i), q, w.k); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTick compares one monitoring cycle on a single engine against
+// the sharded monitor at increasing shard counts, over an identical
+// multi-query workload. On a multi-core runner the sharded rows should
+// beat the single engine from a few shards on; with GOMAXPROCS=1 they
+// instead expose the fan-out overhead.
+func BenchmarkTick(b *testing.B) {
+	w := makeTickWorkload(8192, 256, 16, 16, 0.5, 3)
+	run := func(b *testing.B, m monitor) {
+		w.mount(b, m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ProcessBatch(w.batches[i%len(w.batches)])
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		run(b, core.NewUnitEngine(64, core.Options{}))
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			run(b, shard.NewUnit(n, 64, core.Options{}))
+		})
+	}
+}
+
+// TestShardedSpeedup measures the point of the exercise: on a multi-core
+// machine, ProcessBatch on ≥4 shards is faster than the single engine for
+// a multi-query workload. By default the measurement is logged; set
+// CPM_SPEEDUP_STRICT=1 (a quiet multi-core box, not a shared CI runner
+// with noisy neighbors) to make a missing speedup fail the test.
+func TestShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement is not short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation serializes the shard goroutines; wall-clock comparison is meaningless")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("NumCPU = %d; the parallel speedup needs a multi-core runner", runtime.NumCPU())
+	}
+	const shards = 4
+	w := makeTickWorkload(8192, 256, 16, 16, 0.5, 3)
+	measure := func(m monitor) time.Duration {
+		w.mount(t, m)
+		start := time.Now()
+		for c := 0; c < 2*len(w.batches); c++ {
+			m.ProcessBatch(w.batches[c%len(w.batches)])
+		}
+		return time.Since(start)
+	}
+	// Best-of-three damps scheduler noise on shared CI runners.
+	best := func(f func() time.Duration) time.Duration {
+		b := f()
+		for i := 0; i < 2; i++ {
+			if d := f(); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	single := best(func() time.Duration { return measure(core.NewUnitEngine(64, core.Options{})) })
+	parallel := best(func() time.Duration { return measure(shard.NewUnit(shards, 64, core.Options{})) })
+	t.Logf("single %v, %d shards %v (%.2fx)", single, shards, parallel, float64(single)/float64(parallel))
+	if parallel >= single {
+		msg := fmt.Sprintf("sharded ProcessBatch (%d shards) took %v, single engine %v — no speedup", shards, parallel, single)
+		if os.Getenv("CPM_SPEEDUP_STRICT") != "" {
+			t.Error(msg)
+		} else {
+			// A wall-clock assertion on a shared runner is a flake
+			// generator; outside strict mode the number is informational.
+			t.Log(msg)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package shard_test
+
+// raceEnabled reports that this test binary was built with -race, whose
+// happens-before tracking serializes the shard goroutines and voids any
+// wall-clock comparison.
+const raceEnabled = true

@@ -1,0 +1,216 @@
+// Package shard implements a sharded CPM monitor: continuous queries are
+// hash-partitioned across N worker shards, each owning a private
+// core.Engine, and every processing cycle fans the update batch out to one
+// goroutine per shard and merges the results.
+//
+// CPM's per-query state — best_NN, visit list, leftover heap (paper
+// Figures 3.3a/3.8/3.9) — is independent across queries, so the per-cycle
+// monitoring loop is embarrassingly parallel in the query dimension. Each
+// shard replicates the grid index (object positions must be exact for any
+// query's search), but its influence lists cover only its own queries, so
+// the engine's affected-cell pre-filter reduces every update that does not
+// intersect one of the shard's influence regions to a bare index mutation.
+// The expensive work — influence scans over cell object lists, NN
+// re-computations, heap maintenance — happens only in the shard that owns
+// the affected query.
+//
+// The partitioning is exact, not approximate: for identical streams a
+// sharded monitor produces byte-for-byte the results, change
+// notifications and summed work counters of a single engine (asserted by
+// this package's equivalence property test).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cpm/internal/core"
+	"cpm/internal/geom"
+	"cpm/internal/model"
+)
+
+// Monitor is a sharded CPM monitor. Like core.Engine it is not safe for
+// concurrent use by multiple callers: the parallelism is internal to
+// ProcessBatch, which owns all shard goroutines it spawns.
+type Monitor struct {
+	shards []*core.Engine
+	// perShard reuses the per-cycle query-update routing buffers.
+	perShard [][]model.QueryUpdate
+}
+
+// New creates a monitor of n hash-partitioned shards over gridSize×gridSize
+// grids spanning the workspace. n < 1 is clamped to 1; with one shard the
+// monitor is a thin pass-through around a single engine.
+func New(n, gridSize int, workspace geom.Rect, opts core.Options) *Monitor {
+	if n < 1 {
+		n = 1
+	}
+	m := &Monitor{
+		shards:   make([]*core.Engine, n),
+		perShard: make([][]model.QueryUpdate, n),
+	}
+	for i := range m.shards {
+		m.shards[i] = core.NewEngine(gridSize, workspace, opts)
+	}
+	return m
+}
+
+// NewUnit creates a sharded monitor over the unit-square workspace.
+func NewUnit(n, gridSize int, opts core.Options) *Monitor {
+	return New(n, gridSize, geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}, opts)
+}
+
+// Shards returns the shard count.
+func (m *Monitor) Shards() int { return len(m.shards) }
+
+// Name implements model.Monitor.
+func (m *Monitor) Name() string { return fmt.Sprintf("CPM-shard%d", len(m.shards)) }
+
+// shardOf maps a query id to its owning shard (Fibonacci hashing, so
+// clustered id ranges still spread evenly).
+func (m *Monitor) shardOf(id model.QueryID) int {
+	return int((uint32(id) * 0x9E3779B1) % uint32(len(m.shards)))
+}
+
+// owner returns the engine owning query id.
+func (m *Monitor) owner(id model.QueryID) *core.Engine { return m.shards[m.shardOf(id)] }
+
+// Bootstrap loads the initial object population into every shard's grid
+// replica. Call once, before registering queries or processing updates.
+func (m *Monitor) Bootstrap(objs map[model.ObjectID]geom.Point) {
+	for _, e := range m.shards {
+		e.Bootstrap(objs)
+	}
+}
+
+// RegisterQuery installs a conventional k-NN query on its owning shard.
+func (m *Monitor) RegisterQuery(id model.QueryID, q geom.Point, k int) error {
+	return m.owner(id).RegisterQuery(id, q, k)
+}
+
+// Register installs a query of any supported definition on its owning shard.
+func (m *Monitor) Register(id model.QueryID, def core.Def) error {
+	return m.owner(id).Register(id, def)
+}
+
+// RegisterRange installs a continuous range query on its owning shard.
+func (m *Monitor) RegisterRange(id model.QueryID, center geom.Point, radius float64) error {
+	return m.owner(id).RegisterRange(id, center, radius)
+}
+
+// MoveQuery relocates an installed query.
+func (m *Monitor) MoveQuery(id model.QueryID, points []geom.Point) error {
+	return m.owner(id).MoveQuery(id, points)
+}
+
+// MoveRange relocates an installed range query.
+func (m *Monitor) MoveRange(id model.QueryID, center geom.Point) error {
+	return m.owner(id).MoveRange(id, center)
+}
+
+// IsRange reports whether id names an installed range query.
+func (m *Monitor) IsRange(id model.QueryID) bool { return m.owner(id).IsRange(id) }
+
+// RemoveQuery uninstalls a query of either kind. Unknown ids are a no-op.
+func (m *Monitor) RemoveQuery(id model.QueryID) { m.owner(id).RemoveQuery(id) }
+
+// ProcessBatch runs one processing cycle: the object stream is shared
+// read-only by every shard (each must keep its grid replica exact), query
+// updates are routed to their owning shards, and one goroutine per shard
+// runs the engine's monitoring loop over its partition.
+func (m *Monitor) ProcessBatch(b model.Batch) {
+	if len(m.shards) == 1 {
+		m.shards[0].ProcessBatch(b)
+		return
+	}
+	for i := range m.perShard {
+		m.perShard[i] = m.perShard[i][:0]
+	}
+	for _, qu := range b.Queries {
+		s := m.shardOf(qu.ID)
+		m.perShard[s] = append(m.perShard[s], qu)
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(m.shards))
+	for i, e := range m.shards {
+		go func(e *core.Engine, queries []model.QueryUpdate) {
+			defer wg.Done()
+			e.ProcessBatch(model.Batch{Objects: b.Objects, Queries: queries})
+		}(e, m.perShard[i])
+	}
+	wg.Wait()
+}
+
+// Result returns the current result of a k-NN query.
+func (m *Monitor) Result(id model.QueryID) []model.Neighbor { return m.owner(id).Result(id) }
+
+// RangeResult returns the current members of a range query.
+func (m *Monitor) RangeResult(id model.QueryID) []model.Neighbor {
+	return m.owner(id).RangeResult(id)
+}
+
+// BestDist returns the query's current best_dist.
+func (m *Monitor) BestDist(id model.QueryID) float64 { return m.owner(id).BestDist(id) }
+
+// ObjectPosition returns the current position of a live object (all grid
+// replicas are identical; the first shard answers).
+func (m *Monitor) ObjectPosition(id model.ObjectID) (geom.Point, bool) {
+	return m.shards[0].ObjectPosition(id)
+}
+
+// ObjectCount returns the number of live objects.
+func (m *Monitor) ObjectCount() int { return m.shards[0].ObjectCount() }
+
+// ChangedQueries merges the shards' per-cycle notification sets, in
+// ascending order. Ownership is disjoint, so the merge is duplicate-free.
+func (m *Monitor) ChangedQueries() []model.QueryID {
+	if len(m.shards) == 1 {
+		return m.shards[0].ChangedQueries()
+	}
+	var out []model.QueryID
+	for _, e := range m.shards {
+		out = append(out, e.ChangedQueries()...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats sums the shards' work counters. Searches, scans and re-computations
+// run only in the shard owning the affected query, so the sum equals a
+// single engine's counters for the same stream.
+func (m *Monitor) Stats() model.Stats {
+	var s model.Stats
+	for _, e := range m.shards {
+		s.Add(e.Stats())
+	}
+	return s
+}
+
+// InvalidUpdates reports how many stream elements were dropped as
+// inconsistent. Object updates are validated identically by every replica
+// (count them once); query updates are validated only by their routed
+// shard (sum them).
+func (m *Monitor) InvalidUpdates() int64 {
+	total := m.shards[0].InvalidObjectUpdates()
+	for _, e := range m.shards {
+		total += e.InvalidQueryUpdates()
+	}
+	return total
+}
+
+// MemoryFootprint sums the shards' footprints in the abstract units of the
+// paper's Section 4.1. The grid term is replicated per shard — that is the
+// space cost of sharding — while the per-query bookkeeping is partitioned.
+func (m *Monitor) MemoryFootprint() int64 {
+	var total int64
+	for _, e := range m.shards {
+		total += e.MemoryFootprint()
+	}
+	return total
+}
+
+var _ model.Monitor = (*Monitor)(nil)
