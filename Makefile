@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci
 
 all: build test
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-sensitive packages: the sharded monitor's fan-out, the conceptual
-# partitioning it traverses, and the engine it drives in parallel.
+# partitioning it traverses, the engine it drives in parallel, and the
+# notify pub/sub layer (incl. the root package's subscriber stress test).
 race:
-	$(GO) test -race ./internal/shard/... ./internal/conc/... ./internal/core/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/...
 
 # One iteration of every benchmark — keeps benchmark code compiling and
 # running without paying for a full measurement.
@@ -26,6 +27,17 @@ bench:
 # Machine-readable method comparison for trajectory tracking.
 bench-json:
 	$(GO) run ./cmd/cpmbench -exp none -scale 0.01 -ts 5 -json BENCH_local.json
+
+# Local mirror of the CI bench-trajectory gate: run the method comparison
+# and diff it against a saved baseline, failing on a >25% time regression.
+#
+#	make bench-json && cp BENCH_local.json BENCH_baseline.json
+#	... hack hack hack ...
+#	make bench-compare BASELINE=BENCH_baseline.json
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "usage: make bench-compare BASELINE=path/to/BENCH_x.json" >&2; exit 2; }
+	$(GO) run ./cmd/cpmbench -exp none -scale 0.01 -ts 5 -json BENCH_local.json
+	$(GO) run ./cmd/benchdiff -baseline $(BASELINE) -current BENCH_local.json -threshold 0.25
 
 fmt:
 	gofmt -w .

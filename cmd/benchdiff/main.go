@@ -1,0 +1,78 @@
+// Command benchdiff compares two cpmbench -json reports and fails on time
+// regressions — the CI bench-trajectory gate.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_prev.json -current BENCH_now.json
+//	benchdiff -baseline old.json -current new.json -threshold 0.25 -summary "$GITHUB_STEP_SUMMARY"
+//
+// For every method present in both reports the ns columns (total_ns,
+// ns_per_cycle, register_ns) are compared; any column exceeding the
+// baseline by more than -threshold (default 0.25 = +25%) fails the run
+// with exit code 1, unless the baseline reading is below the 100µs noise
+// floor. The comparison table is printed to stdout and, with -summary,
+// appended to the given file (pass $GITHUB_STEP_SUMMARY in CI). Exit
+// codes: 0 ok, 1 regression, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpm/internal/bench"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline BENCH_*.json report (required)")
+		current   = flag.String("current", "", "current BENCH_*.json report (required)")
+		threshold = flag.Float64("threshold", 0.25, "allowed relative slowdown before failing (0.25 = +25%)")
+		summary   = flag.String("summary", "", "append the markdown comparison to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	)
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be positive")
+		os.Exit(2)
+	}
+
+	base, err := bench.ReadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.ReadReport(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmp := bench.Compare(base, cur, *threshold)
+	md := cmp.Markdown()
+	fmt.Print(md)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := f.WriteString(md); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if cmp.Regressed() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

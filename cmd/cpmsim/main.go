@@ -7,18 +7,25 @@
 //
 //	cpmsim -method CPM -n 5000 -queries 50 -k 8 -ts 30 -watch 3
 //	cpmsim -method CPM -shards 4 -n 20000 -queries 500
+//	cpmsim -follow -shards 4 -n 20000 -queries 500
 //
 // -watch selects how many queries get their results printed each cycle.
 // -shards > 1 runs the CPM method as a sharded parallel monitor (results
-// are identical; cycles run one goroutine per shard).
+// are identical; cycles run one goroutine per shard). -follow switches
+// from polling to streaming: the simulation subscribes to the monitor's
+// result-diff stream and prints, per cycle, the pushed events — entered /
+// exited / re-ranked neighbors per changed query — instead of re-reading
+// results (CPM only).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"cpm"
 	"cpm/internal/bench"
 	"cpm/internal/generator"
 	"cpm/internal/model"
@@ -39,6 +46,7 @@ func main() {
 		fqry       = flag.Float64("fqry", 0.3, "query agility")
 		watch      = flag.Int("watch", 2, "queries whose results are printed each cycle")
 		shards     = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
+		follow     = flag.Bool("follow", false, "stream pushed result diffs instead of polling (CPM only)")
 	)
 	flag.Parse()
 
@@ -47,6 +55,14 @@ func main() {
 		os.Exit(2)
 	}
 	nShards := bench.ResolveShards(*shards)
+	if *follow {
+		if *methodName != "CPM" {
+			fmt.Fprintf(os.Stderr, "cpmsim: -follow applies to the CPM method only\n")
+			os.Exit(2)
+		}
+		runFollow(*n, *queries, *k, *gridSize, *ts, *seed, *speed, *fobj, *fqry, *watch, nShards)
+		return
+	}
 	var method bench.Method
 	switch *methodName {
 	case "CPM":
@@ -66,32 +82,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpmsim: -shards applies to the CPM method only\n")
 		os.Exit(2)
 	}
-	var spd generator.Speed
-	switch *speed {
-	case "slow":
-		spd = generator.Slow
-	case "medium":
-		spd = generator.Medium
-	case "fast":
-		spd = generator.Fast
-	default:
-		fmt.Fprintf(os.Stderr, "cpmsim: unknown speed %q\n", *speed)
-		os.Exit(2)
-	}
-
-	net, err := network.Generate(network.GenOptions{Width: 32, Height: 32, Seed: *seed})
-	if err != nil {
-		fatal(err)
-	}
-	w, err := generator.New(net, generator.Params{
-		N: *n, NumQueries: *queries,
-		ObjectSpeed: spd, QuerySpeed: spd,
-		ObjectAgility: *fobj, QueryAgility: *fqry,
-		Seed: *seed + 1,
-	})
-	if err != nil {
-		fatal(err)
-	}
+	net, w := makeWorkload(*n, *queries, *seed, *speed, *fobj, *fqry)
 
 	mon := method.NewMonitor(*gridSize, nShards)
 	mon.Bootstrap(w.InitialObjects())
@@ -136,6 +127,136 @@ func main() {
 	fmt.Printf("cell accesses %d (%.2f per query per cycle), heap ops %d, re-computations %d, full searches %d, short-circuits %d\n",
 		s.CellAccesses, float64(s.CellAccesses)/float64(*queries**ts),
 		s.HeapOps, s.Recomputations, s.FullSearches, s.ShortCircuits)
+}
+
+// makeWorkload builds the road network and the update-stream generator
+// shared by the polling and the streaming mode.
+func makeWorkload(n, queries int, seed int64, speed string, fobj, fqry float64) (*network.Graph, *generator.Workload) {
+	var spd generator.Speed
+	switch speed {
+	case "slow":
+		spd = generator.Slow
+	case "medium":
+		spd = generator.Medium
+	case "fast":
+		spd = generator.Fast
+	default:
+		fmt.Fprintf(os.Stderr, "cpmsim: unknown speed %q\n", speed)
+		os.Exit(2)
+	}
+	net, err := network.Generate(network.GenOptions{Width: 32, Height: 32, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	w, err := generator.New(net, generator.Params{
+		N: n, NumQueries: queries,
+		ObjectSpeed: spd, QuerySpeed: spd,
+		ObjectAgility: fobj, QueryAgility: fqry,
+		Seed: seed + 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return net, w
+}
+
+// runFollow is the -follow streaming mode: instead of polling results each
+// cycle it subscribes to the monitor's result-diff stream and prints the
+// pushed events. The read is deterministic: every cycle publishes exactly
+// one event per changed query, so the loop takes len(ChangedQueries())
+// events off the stream after each Tick.
+func runFollow(n, queries, k, gridSize, ts int, seed int64, speed string, fobj, fqry float64, watch, nShards int) {
+	net, w := makeWorkload(n, queries, seed, speed, fobj, fqry)
+
+	mon := cpm.NewMonitor(cpm.Options{GridSize: gridSize, Shards: nShards})
+	mon.Bootstrap(w.InitialObjects())
+	sub := mon.SubscribeWith(cpm.SubscribeOptions{Buffer: 2*queries + 16})
+
+	start := time.Now()
+	for i, q := range w.InitialQueries() {
+		if err := mon.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < queries; i++ { // the registrations' install events
+		<-sub.Events()
+	}
+	shardNote := ""
+	if nShards > 1 {
+		shardNote = fmt.Sprintf(", %d shards", nShards)
+	}
+	fmt.Printf("CPM -follow%s: streaming %d queries (k=%d) over %d objects on a %d-node road network; initial evaluation %v\n",
+		shardNote, queries, k, n, net.NumNodes(), time.Since(start).Round(time.Microsecond))
+
+	var total time.Duration
+	for cycle := 1; cycle <= ts; cycle++ {
+		b := w.Advance()
+		t0 := time.Now()
+		mon.Tick(b)
+		d := time.Since(t0)
+		total += d
+
+		pushed := len(mon.ChangedQueries())
+		var entered, exited, reranked int
+		details := make([]string, 0, watch)
+		for i := 0; i < pushed; i++ {
+			ev := <-sub.Events()
+			entered += len(ev.Entered)
+			exited += len(ev.Exited)
+			reranked += len(ev.Reranked)
+			if len(details) < watch {
+				details = append(details, fmt.Sprintf("           q%d %s", ev.Query, formatEvent(ev)))
+			}
+		}
+		fmt.Printf("cycle %3d: %4d events pushed (+%d −%d ~%d) for %d object updates, %8v\n",
+			cycle, pushed, entered, exited, reranked, len(b.Objects), d.Round(time.Microsecond))
+		for _, line := range details {
+			fmt.Println(line)
+		}
+	}
+	mon.Close()
+	if _, open := <-sub.Events(); open {
+		fatal(fmt.Errorf("stream not closed after Close"))
+	}
+	fmt.Printf("\ntotal processing %v (%v per cycle), %d events dropped by the subscriber buffer\n",
+		total.Round(time.Microsecond), (total / time.Duration(ts)).Round(time.Microsecond), sub.Dropped())
+}
+
+// formatEvent renders one pushed diff like "+[12@0.031] −[7] ~1 → 8@0.031 40@0.044 …".
+func formatEvent(ev cpm.ResultEvent) string {
+	if ev.Kind == cpm.DiffRemove {
+		return "terminated"
+	}
+	var b strings.Builder
+	if ev.Kind == cpm.DiffInstall {
+		b.WriteString("installed ")
+	}
+	if len(ev.Entered) > 0 {
+		b.WriteString("+[")
+		for i, n := range ev.Entered {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d@%.4f", n.ID, n.Dist)
+		}
+		b.WriteString("] ")
+	}
+	if len(ev.Exited) > 0 {
+		b.WriteString("−[")
+		for i, id := range ev.Exited {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteString("] ")
+	}
+	if len(ev.Reranked) > 0 {
+		fmt.Fprintf(&b, "~%d ", len(ev.Reranked))
+	}
+	b.WriteString("→ ")
+	b.WriteString(formatResult(ev.Result))
+	return b.String()
 }
 
 func changed(a, b []model.Neighbor) bool {

@@ -17,6 +17,12 @@
 //		_ = m.Result(1)                // always current
 //	}
 //
+// Results can also be pushed instead of polled: Subscribe returns a typed
+// stream of per-query result diffs (entered/exited/re-ranked neighbors
+// plus the full new result) delivered over a channel, with per-subscriber
+// buffering and slow-consumer policies. See Subscribe and the README's
+// "Streaming results" section.
+//
 // Aggregate queries (sum/min/max over several query points, Section 5 of
 // the paper) and constrained queries (results restricted to a region) are
 // registered with RegisterAggQuery and RegisterConstrainedQuery; everything
@@ -36,6 +42,7 @@ import (
 	"cpm/internal/core"
 	"cpm/internal/geom"
 	"cpm/internal/model"
+	"cpm/internal/notify"
 	"cpm/internal/shard"
 )
 
@@ -105,6 +112,47 @@ const (
 	Delete = model.Delete
 )
 
+// ResultDiff describes how one query's result changed: entered, exited and
+// re-ranked neighbors plus the full new result set. See Subscribe.
+type ResultDiff = model.ResultDiff
+
+// DiffKind classifies a result-diff event.
+type DiffKind = model.DiffKind
+
+// Result-diff kinds.
+const (
+	DiffUpdate  = model.DiffUpdate  // an installed query's result changed
+	DiffInstall = model.DiffInstall // a query was installed; Entered is the initial result
+	DiffRemove  = model.DiffRemove  // a query was terminated; Result is nil
+)
+
+// ResultEvent is one delivered result diff with its hub sequence number.
+type ResultEvent = notify.Event
+
+// Subscription is a handle on a stream of ResultEvents; consume Events()
+// from any goroutine and Close() to unsubscribe.
+type Subscription = notify.Subscription
+
+// SubscribeOptions configure a subscription's buffering and slow-consumer
+// policy.
+type SubscribeOptions = notify.Options
+
+// SlowConsumerPolicy selects what happens when a subscriber's buffer fills.
+type SlowConsumerPolicy = notify.Policy
+
+// DefaultBuffer is the per-subscriber buffer capacity when
+// SubscribeOptions.Buffer is unset.
+const DefaultBuffer = notify.DefaultBuffer
+
+// Slow-consumer policies for SubscribeOptions.
+const (
+	// DropOldest discards the oldest buffered event (detectable via
+	// Event.Seq gaps and Subscription.Dropped).
+	DropOldest = notify.DropOldest
+	// CoalesceLatest keeps only the newest pending event per query.
+	CoalesceLatest = notify.CoalesceLatest
+)
+
 // UnitSquare is the canonical workspace.
 var UnitSquare = Rect{Lo: Point{X: 0, Y: 0}, Hi: Point{X: 1, Y: 1}}
 
@@ -164,6 +212,8 @@ type backend interface {
 	ChangedQueries() []QueryID
 	InvalidUpdates() int64
 	MemoryFootprint() int64
+	EnableDiffs(on bool)
+	TakeDiffs() []model.ResultDiff
 }
 
 var (
@@ -178,9 +228,14 @@ var (
 // processing loop consuming a stream, and that is the supported model.
 // Wrap it in a mutex if updates and reads come from different goroutines.
 // (With Options.Shards > 1 each Tick parallelizes internally, but the
-// external contract is unchanged: one caller at a time.)
+// external contract is unchanged: one caller at a time.) The exception is
+// the event streams returned by Subscribe: their channels may be consumed
+// from any number of goroutines while the processing loop runs.
 type Monitor struct {
 	e backend
+	// hub delivers result diffs to subscribers; nil until the first
+	// Subscribe call, so unsubscribed monitors pay nothing for streaming.
+	hub *notify.Hub
 }
 
 // NewMonitor creates a CPM monitor: a single engine, or — with
@@ -205,13 +260,17 @@ func (m *Monitor) Bootstrap(objs map[ObjectID]Point) { m.e.Bootstrap(objs) }
 // RegisterQuery installs a conventional k-NN query at q and computes its
 // initial result.
 func (m *Monitor) RegisterQuery(id QueryID, q Point, k int) error {
-	return m.e.RegisterQuery(id, q, k)
+	err := m.e.RegisterQuery(id, q, k)
+	m.publish()
+	return err
 }
 
 // RegisterAggQuery installs an aggregate k-NN query: it monitors the k
 // objects minimizing agg over the distances to every point in pts.
 func (m *Monitor) RegisterAggQuery(id QueryID, pts []Point, k int, agg Agg) error {
-	return m.e.Register(id, core.AggQuery(pts, k, agg))
+	err := m.e.Register(id, core.AggQuery(pts, k, agg))
+	m.publish()
+	return err
 }
 
 // RegisterConstrainedQuery installs a k-NN query whose results are
@@ -219,7 +278,9 @@ func (m *Monitor) RegisterAggQuery(id QueryID, pts []Point, k int, agg Agg) erro
 func (m *Monitor) RegisterConstrainedQuery(id QueryID, q Point, k int, region Rect) error {
 	def := core.PointQuery(q, k)
 	def.Constraint = &region
-	return m.e.Register(id, def)
+	err := m.e.Register(id, def)
+	m.publish()
+	return err
 }
 
 // RegisterRangeQuery installs a continuous range query: it continuously
@@ -227,45 +288,60 @@ func (m *Monitor) RegisterConstrainedQuery(id QueryID, q Point, k int, region Re
 // the grid and influence-list machinery with k-NN monitoring but needs no
 // search state at all (see internal/core's range module).
 func (m *Monitor) RegisterRangeQuery(id QueryID, center Point, radius float64) error {
-	return m.e.RegisterRange(id, center, radius)
+	err := m.e.RegisterRange(id, center, radius)
+	m.publish()
+	return err
 }
 
 // MoveQuery relocates an installed query; pass one point per original
 // query point (exactly one for conventional, constrained and range
 // queries).
 func (m *Monitor) MoveQuery(id QueryID, to ...Point) error {
+	var err error
 	if m.e.IsRange(id) {
 		if len(to) != 1 {
 			return errRangeMove
 		}
-		return m.e.MoveRange(id, to[0])
+		err = m.e.MoveRange(id, to[0])
+	} else {
+		err = m.e.MoveQuery(id, to)
 	}
-	return m.e.MoveQuery(id, to)
+	m.publish()
+	return err
 }
 
 // RemoveQuery uninstalls a query. Unknown ids are a no-op.
-func (m *Monitor) RemoveQuery(id QueryID) { m.e.RemoveQuery(id) }
+func (m *Monitor) RemoveQuery(id QueryID) {
+	m.e.RemoveQuery(id)
+	m.publish()
+}
 
 // Tick runs one processing cycle over a batch of object and query updates.
 // Feed at most one update per object per batch (the stream model of the
 // paper); the engine tolerates more but may fall back to re-computation.
-func (m *Monitor) Tick(b Batch) { m.e.ProcessBatch(b) }
+func (m *Monitor) Tick(b Batch) {
+	m.e.ProcessBatch(b)
+	m.publish()
+}
 
 // InsertObject adds a single new object immediately (a one-update cycle).
 func (m *Monitor) InsertObject(id ObjectID, p Point) {
 	m.e.ProcessBatch(Batch{Objects: []Update{InsertUpdate(id, p)}})
+	m.publish()
 }
 
 // MoveObject relocates a single object immediately (a one-update cycle).
 func (m *Monitor) MoveObject(id ObjectID, to Point) {
 	old, _ := m.e.ObjectPosition(id)
 	m.e.ProcessBatch(Batch{Objects: []Update{MoveUpdate(id, old, to)}})
+	m.publish()
 }
 
 // DeleteObject removes a single object immediately (a one-update cycle).
 func (m *Monitor) DeleteObject(id ObjectID) {
 	old, _ := m.e.ObjectPosition(id)
 	m.e.ProcessBatch(Batch{Objects: []Update{DeleteUpdate(id, old)}})
+	m.publish()
 }
 
 // Result returns the current result of a query of either kind — the k
@@ -294,8 +370,64 @@ func (m *Monitor) ObjectCount() int { return m.e.ObjectCount() }
 // ChangedQueries returns the ids of queries whose results changed since
 // the last Tick began — the per-cycle client notification set of the
 // paper's monitoring loop (Figure 3.9). Installations, moves and
-// terminations count as changes.
+// terminations count as changes. The ids are in ascending order on both
+// the single-engine and the sharded path, so downstream consumers never
+// depend on shard interleaving.
 func (m *Monitor) ChangedQueries() []QueryID { return m.e.ChangedQueries() }
+
+// Subscribe returns a push-based stream of result-diff events for the
+// given queries (none subscribes to every query, like SubscribeAll) with
+// default options: a DefaultBuffer-event buffer and the DropOldest
+// slow-consumer policy.
+//
+// Events describe every change from the moment of subscription on —
+// installations, per-cycle result changes (entered / exited / re-ranked
+// neighbors plus the full new result), query moves and terminations — in
+// the order they were reported; for the current state of queries installed
+// before subscribing, poll Result once after subscribing. Like every other
+// Monitor method, Subscribe must be called from the processing-loop
+// goroutine; the returned subscription's channel may be consumed from any
+// goroutine. Delivery never blocks the processing loop: slow consumers
+// lose events according to their policy instead.
+func (m *Monitor) Subscribe(ids ...QueryID) *Subscription {
+	return m.SubscribeWith(SubscribeOptions{}, ids...)
+}
+
+// SubscribeAll subscribes to every query with default options.
+func (m *Monitor) SubscribeAll() *Subscription { return m.SubscribeWith(SubscribeOptions{}) }
+
+// SubscribeWith is Subscribe with explicit buffering and slow-consumer
+// policy.
+func (m *Monitor) SubscribeWith(opts SubscribeOptions, ids ...QueryID) *Subscription {
+	if m.hub == nil {
+		m.hub = notify.NewHub()
+		m.e.EnableDiffs(true)
+	}
+	return m.hub.Subscribe(opts, ids...)
+}
+
+// Close shuts down streaming delivery: every subscription's buffered
+// events drain and its Events channel closes, and diff collection stops.
+// The monitor itself stays usable — polling Result and ChangedQueries
+// continues to work, and a later Subscribe starts a fresh hub.
+func (m *Monitor) Close() {
+	if m.hub == nil {
+		return
+	}
+	m.hub.Close()
+	m.hub = nil
+	m.e.EnableDiffs(false)
+}
+
+// publish flushes the diffs of the last mutating operation to the
+// subscribers. No-op (and no diff is ever collected) while there has been
+// no Subscribe call.
+func (m *Monitor) publish() {
+	if m.hub == nil {
+		return
+	}
+	m.hub.Publish(m.e.TakeDiffs())
+}
 
 // Stats returns cumulative work counters.
 func (m *Monitor) Stats() Stats { return m.e.Stats() }

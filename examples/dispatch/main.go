@@ -1,0 +1,120 @@
+// Fleet dispatch on push notifications: the pub/sub counterpart of the
+// taxifleet example.
+//
+// A fleet of vehicles drives a synthetic road network while dispatch
+// centers each monitor their k=4 nearest vehicles. Instead of re-reading
+// every result every cycle, a dispatcher goroutine subscribes to the
+// monitor's result-diff stream and reacts only to churn: a vehicle
+// entering a center's k-NN set becomes dispatchable there, a vehicle
+// exiting is released, and a re-rank merely reorders the center's call
+// list. The monitor runs sharded, so per-shard diff streams are fanned
+// into the one ordered stream the dispatcher consumes.
+//
+//	go run ./examples/dispatch
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"cpm"
+	"cpm/workload"
+)
+
+// board is the dispatcher's view of the world, maintained purely from
+// pushed diffs — it never polls the monitor.
+type board struct {
+	mu        sync.Mutex
+	callList  map[cpm.QueryID][]cpm.Neighbor // per-center dispatch order
+	assigns   int                            // vehicles that became dispatchable
+	releases  int                            // vehicles released from a center
+	reorders  int                            // call-list reorders without churn
+	delivered int
+}
+
+// react folds one pushed event into the board.
+func (bd *board) react(ev cpm.ResultEvent) {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
+	bd.delivered++
+	bd.assigns += len(ev.Entered)
+	bd.releases += len(ev.Exited)
+	if len(ev.Entered) == 0 && len(ev.Exited) == 0 && len(ev.Reranked) > 0 {
+		bd.reorders++
+	}
+	if ev.Kind == cpm.DiffRemove {
+		delete(bd.callList, ev.Query)
+		return
+	}
+	bd.callList[ev.Query] = ev.Result
+}
+
+func main() {
+	w, err := workload.New(
+		workload.CityOptions{Width: 32, Height: 32, Seed: 2026},
+		workload.Params{
+			N:             3000,
+			NumQueries:    25,
+			ObjectSpeed:   workload.Medium,
+			QuerySpeed:    workload.Slow,
+			ObjectAgility: 0.5,
+			QueryAgility:  0.2,
+			Seed:          11,
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	m := cpm.NewMonitor(cpm.Options{GridSize: 128, Shards: 4})
+	m.Bootstrap(w.InitialObjects())
+
+	// Subscribe before installing the centers: the dispatcher then builds
+	// its board from the install events alone.
+	sub := m.SubscribeWith(cpm.SubscribeOptions{Buffer: 256})
+	bd := &board{callList: make(map[cpm.QueryID][]cpm.Neighbor)}
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		for ev := range sub.Events() {
+			bd.react(ev)
+		}
+	}()
+
+	const k = 4
+	centers := w.InitialQueries()
+	for i, at := range centers {
+		if err := m.RegisterQuery(cpm.QueryID(i), at, k); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("dispatching %d vehicles for %d centers (k=%d), 4 shards, push-based\n\n",
+		m.ObjectCount(), len(centers), k)
+
+	const cycles = 30
+	for ts := 1; ts <= cycles; ts++ {
+		m.Tick(w.Advance())
+	}
+	// One center shuts down mid-operation; its stream ends with a
+	// DiffRemove event.
+	m.RemoveQuery(0)
+
+	// Drain: Close stops intake and lets the subscriber finish the buffer.
+	m.Close()
+	done.Wait()
+
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
+	fmt.Printf("%d cycles, %d events delivered (%d dropped)\n", cycles, bd.delivered, sub.Dropped())
+	fmt.Printf("dispatch churn: %d vehicles assigned, %d released, %d pure reorders\n",
+		bd.assigns, bd.releases, bd.reorders)
+	fmt.Printf("boards live for %d centers (center 0 decommissioned)\n\n", len(bd.callList))
+	for _, qid := range []cpm.QueryID{1, 2} {
+		fmt.Printf("center %d call list:", qid)
+		for _, n := range bd.callList[qid] {
+			fmt.Printf("  vehicle %d (%.3f)", n.ID, n.Dist)
+		}
+		fmt.Println()
+	}
+}

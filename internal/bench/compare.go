@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bench-trajectory comparison: the CI gate that pins BENCH_*.json reports
+// of consecutive runs against each other and fails on large time
+// regressions. cmd/benchdiff is the command-line front end; the Makefile's
+// bench-compare target mirrors the gate locally.
+
+// NoiseFloorNs is the baseline value below which a time metric never
+// gates: micro-benchmark readings under 100µs are dominated by scheduler
+// and timer noise on shared CI runners.
+const NoiseFloorNs = 100_000
+
+// Delta is one (method, metric) comparison between two reports.
+type Delta struct {
+	Method    string  `json:"method"`
+	Metric    string  `json:"metric"`
+	Base      int64   `json:"base"`
+	Current   int64   `json:"current"`
+	Ratio     float64 `json:"ratio"` // Current / Base; 0 (undefined) when Base is 0 and Current is not
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the outcome of comparing a current report against a
+// baseline.
+type Comparison struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// Missing lists methods present in only one of the two reports (new
+	// or retired method columns); they are reported, not gated.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// timeMetrics are the ns columns of MethodResult the gate watches.
+func timeMetrics(r MethodResult) []struct {
+	Name  string
+	Value int64
+} {
+	return []struct {
+		Name  string
+		Value int64
+	}{
+		{"total_ns", r.TotalNs},
+		{"ns_per_cycle", r.NsPerCycle},
+		{"register_ns", r.RegisterNs},
+	}
+}
+
+// Compare evaluates every shared method's time metrics of cur against
+// base. A metric regresses when it exceeds the baseline by more than
+// threshold (0.25 = +25%) and the baseline is above the noise floor.
+func Compare(base, cur Report, threshold float64) Comparison {
+	c := Comparison{Threshold: threshold}
+	baseByMethod := make(map[string]MethodResult, len(base.Methods))
+	for _, m := range base.Methods {
+		baseByMethod[m.Method] = m
+	}
+	seen := make(map[string]bool, len(cur.Methods))
+	for _, m := range cur.Methods {
+		seen[m.Method] = true
+		b, ok := baseByMethod[m.Method]
+		if !ok {
+			c.Missing = append(c.Missing, m.Method+" (not in baseline)")
+			continue
+		}
+		bm, cm := timeMetrics(b), timeMetrics(m)
+		for i := range bm {
+			d := Delta{
+				Method:  m.Method,
+				Metric:  bm[i].Name,
+				Base:    bm[i].Value,
+				Current: cm[i].Value,
+			}
+			if d.Base > 0 {
+				d.Ratio = float64(d.Current) / float64(d.Base)
+			} else if d.Current == 0 {
+				d.Ratio = 1
+			} // else: undefined vs a zero baseline; Ratio stays 0, shown as n/a
+			d.Regressed = d.Base > NoiseFloorNs && float64(d.Current) > float64(d.Base)*(1+threshold)
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	for _, m := range base.Methods {
+		if !seen[m.Method] {
+			c.Missing = append(c.Missing, m.Method+" (not in current)")
+		}
+	}
+	return c
+}
+
+// Regressed reports whether any delta breached the threshold.
+func (c Comparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Markdown renders the comparison as a GitHub-flavored table suitable for
+// a job step summary.
+func (c Comparison) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench trajectory (gate: +%.0f%% on any time metric)\n\n", c.Threshold*100)
+	b.WriteString("| Method | Metric | Baseline | Current | Δ | |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, d := range c.Deltas {
+		mark := ""
+		switch {
+		case d.Regressed:
+			mark = "❌ regression"
+		case d.Base > NoiseFloorNs && float64(d.Current) < float64(d.Base)*(1-c.Threshold):
+			mark = "🎉 faster"
+		}
+		delta := "n/a"
+		if d.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %s | %s |\n",
+			d.Method, d.Metric, d.Base, d.Current, delta, mark)
+	}
+	for _, m := range c.Missing {
+		fmt.Fprintf(&b, "\n_%s — skipped._\n", m)
+	}
+	if c.Regressed() {
+		b.WriteString("\n**Regression detected.**\n")
+	} else {
+		b.WriteString("\nNo regression above threshold.\n")
+	}
+	return b.String()
+}
+
+// ReadReport loads a BENCH_*.json report written by WriteReport.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func reportWith(totals map[string]int64) Report {
+	r := Report{Scale: 0.01, Timestamps: 5, GridSize: 128, Shards: 2}
+	for method, total := range totals {
+		r.Methods = append(r.Methods, MethodResult{
+			Method:     method,
+			TotalNs:    total,
+			NsPerCycle: total / 5,
+			RegisterNs: total / 10,
+		})
+	}
+	return r
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := reportWith(map[string]int64{"CPM": 10_000_000, "YPK-CNN": 40_000_000})
+	cur := reportWith(map[string]int64{"CPM": 11_000_000, "YPK-CNN": 38_000_000})
+	c := Compare(base, cur, 0.25)
+	if c.Regressed() {
+		t.Fatalf("+10%% flagged as regression: %+v", c.Deltas)
+	}
+	if len(c.Deltas) != 6 {
+		t.Fatalf("deltas = %d, want 2 methods × 3 metrics", len(c.Deltas))
+	}
+}
+
+// TestCompareDetectsInjectedRegression is the acceptance check: an
+// injected >25% slowdown in one method column must fail the gate.
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	base := reportWith(map[string]int64{"CPM": 10_000_000, "YPK-CNN": 40_000_000})
+	cur := reportWith(map[string]int64{"CPM": 13_000_000, "YPK-CNN": 40_000_000}) // +30%
+	c := Compare(base, cur, 0.25)
+	if !c.Regressed() {
+		t.Fatal("+30% regression not detected")
+	}
+	var flagged []string
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			flagged = append(flagged, d.Method+"/"+d.Metric)
+		}
+	}
+	for _, f := range flagged {
+		if !strings.HasPrefix(f, "CPM/") {
+			t.Fatalf("wrong method flagged: %v", flagged)
+		}
+	}
+	if len(flagged) == 0 {
+		t.Fatal("no delta flagged")
+	}
+	md := c.Markdown()
+	if !strings.Contains(md, "❌ regression") || !strings.Contains(md, "**Regression detected.**") {
+		t.Fatalf("markdown missing regression marks:\n%s", md)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// 50µs -> 500µs is 10× but under the floor: benchmarks this small are
+	// all noise on shared runners.
+	base := reportWith(map[string]int64{"CPM": 50_000})
+	cur := reportWith(map[string]int64{"CPM": 500_000})
+	if c := Compare(base, cur, 0.25); c.Regressed() {
+		t.Fatalf("sub-floor reading gated: %+v", c.Deltas)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := reportWith(map[string]int64{"CPM": 0})
+	cur := reportWith(map[string]int64{"CPM": 5_000_000})
+	c := Compare(base, cur, 0.25)
+	if c.Regressed() {
+		t.Fatalf("zero baseline gated: %+v", c.Deltas)
+	}
+	if !strings.Contains(c.Markdown(), "| n/a |") {
+		t.Fatalf("zero-baseline delta not rendered as n/a:\n%s", c.Markdown())
+	}
+}
+
+func TestCompareMissingMethods(t *testing.T) {
+	base := reportWith(map[string]int64{"CPM": 10_000_000, "SEA-CNN": 20_000_000})
+	cur := reportWith(map[string]int64{"CPM": 10_000_000, "CPM-shard": 5_000_000})
+	c := Compare(base, cur, 0.25)
+	if c.Regressed() {
+		t.Fatalf("missing methods gated: %+v", c.Deltas)
+	}
+	if len(c.Missing) != 2 {
+		t.Fatalf("Missing = %v, want the new and the retired method", c.Missing)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	rep := reportWith(map[string]int64{"CPM": 1_000_000})
+	data := `{"scale":0.01,"timestamps":5,"grid_size":128,"seed":0,"shards":2,"gomaxprocs":0,` +
+		`"methods":[{"method":"CPM","total_ns":1000000,"ns_per_cycle":200000,"register_ns":100000}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Methods[0] != rep.Methods[0] || got.GridSize != 128 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

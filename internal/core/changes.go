@@ -28,11 +28,15 @@ func reportedEqual(reported, current []model.Neighbor) bool {
 }
 
 // noteIfChanged compares a k-NN query's result against its reported
-// snapshot, records a change and refreshes the snapshot.
+// snapshot, records a change (and, with diffs enabled, the exact delta)
+// and refreshes the snapshot.
 func (e *Engine) noteIfChanged(qu *query) {
 	cur := qu.best.items
 	if reportedEqual(qu.reported, cur) {
 		return
+	}
+	if e.diffsOn {
+		e.noteDiff(qu.id, qu.reported, cur)
 	}
 	qu.reported = append(qu.reported[:0], cur...)
 	e.changed[qu.id] = true
@@ -44,14 +48,41 @@ func (e *Engine) noteRangeIfChanged(rq *rangeQuery) {
 	if reportedEqual(rq.reported, cur) {
 		return
 	}
+	if e.diffsOn {
+		e.noteDiff(rq.id, rq.reported, cur)
+	}
 	rq.reported = cur
 	e.changed[rq.id] = true
 }
 
-// noteRemoved reports a query's disappearance as a final change.
-func (e *Engine) noteRemoved(id model.QueryID) {
+// noteRemoved reports a query's disappearance as a final change;
+// lastReported is the result as the engine last reported it. A pending
+// diff for the query in the current window is composed away: the remove
+// event lists what the subscriber actually saw (the pending diff's base),
+// and a reinstall of the id later in the window starts a fresh event.
+func (e *Engine) noteRemoved(id model.QueryID, lastReported []model.Neighbor) {
 	if e.changed != nil {
 		e.changed[id] = true
+	}
+	if !e.diffsOn {
+		return
+	}
+	seen := lastReported
+	at := len(e.diffs)
+	if i, ok := e.diffAt[id]; ok {
+		seen = e.diffBase[i]
+		at = i
+		delete(e.diffAt, id)
+	}
+	exited := make([]model.ObjectID, len(seen))
+	for i := range seen {
+		exited[i] = seen[i].ID
+	}
+	rm := model.ResultDiff{Query: id, Kind: model.DiffRemove, Exited: exited}
+	if at < len(e.diffs) {
+		e.diffs[at] = rm
+	} else {
+		e.diffs = append(e.diffs, rm)
 	}
 }
 

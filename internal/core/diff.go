@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"cpm/internal/model"
+)
+
+// Result-diff collection — the engine side of push-based delivery.
+//
+// With diffs enabled the engine extends the change-notification bookkeeping
+// of changes.go: whenever a cycle is found to have changed a query's result
+// (against the per-query reported snapshot that is kept anyway), the exact
+// entered/exited/re-ranked delta is derived in one O(k) pass over the two
+// sorted lists, at the moment of the change, inside ProcessBatch. Unchanged
+// queries are never diffed — the existing cheap equality check rejects them
+// first — and nothing ever re-diffs full result sets after the fact.
+//
+// Diffs accumulate until TakeDiffs, which the owning monitor calls once
+// after every mutating operation; the paired ordering contract with the
+// sharded monitor (internal/shard) is that a take is stable-ordered by
+// query id, so single-engine and sharded streams are byte-for-byte equal.
+// Repeated changes to one query within a single buffer window — PerUpdate
+// resolving the same query several times per batch, or several mutating
+// calls between takes — compose into one event diffed against the first
+// change's base, so a take carries at most one live diff per query and
+// its ids match ChangedQueries when taken once per ProcessBatch.
+
+// EnableDiffs switches per-cycle result-diff collection on or off.
+// Disabling discards any diffs not yet taken.
+func (e *Engine) EnableDiffs(on bool) {
+	e.diffsOn = on
+	if on && e.diffIdx == nil {
+		e.diffIdx = make(map[model.ObjectID]int)
+		e.diffAt = make(map[model.QueryID]int)
+	}
+	if !on {
+		e.resetDiffs()
+	}
+}
+
+func (e *Engine) resetDiffs() {
+	e.diffs = nil
+	e.diffBase = nil
+	clear(e.diffAt)
+}
+
+// TakeDiffs returns the result diffs accumulated since the last call,
+// stable-ordered by query id, and resets the buffer. It returns nil when
+// diff collection is disabled or nothing changed. Callers that enable
+// diffs must take them regularly (the monitors do, once per mutating
+// operation); otherwise the buffer grows without bound.
+func (e *Engine) TakeDiffs() []model.ResultDiff {
+	out := e.diffs
+	e.resetDiffs()
+	if len(out) > 1 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	}
+	return out
+}
+
+// noteDiff records a changed query's delta: the first change in a window
+// appends a fresh diff (remembering a copy of the pre-change snapshot as
+// the base), further changes re-diff the current result against that base
+// in place, keeping the window at one event per query. Both inputs are
+// copied as needed; callers may keep mutating their storage.
+func (e *Engine) noteDiff(id model.QueryID, base, cur []model.Neighbor) {
+	if i, ok := e.diffAt[id]; ok {
+		kind := e.diffs[i].Kind
+		e.diffs[i] = e.diffResult(id, e.diffBase[i], cur)
+		e.diffs[i].Kind = kind // a composed install stays an install
+		if kind == model.DiffInstall {
+			e.diffs[i].Entered = e.diffs[i].Result
+		}
+		return
+	}
+	e.diffAt[id] = len(e.diffs)
+	e.diffBase = append(e.diffBase, append([]model.Neighbor(nil), base...))
+	e.diffs = append(e.diffs, e.diffResult(id, base, cur))
+}
+
+// diffResult builds the delta between a query's previously reported result
+// and its current one. Both inputs are ordered by (Dist, ID); the pass is
+// O(k) with scratch space reused across calls. Only called when the two
+// differ.
+func (e *Engine) diffResult(id model.QueryID, old, cur []model.Neighbor) model.ResultDiff {
+	idx := e.diffIdx
+	for i := range old {
+		idx[old[i].ID] = i
+	}
+	matched := e.diffSeen[:0]
+	for range old {
+		matched = append(matched, false)
+	}
+	d := model.ResultDiff{
+		Query:  id,
+		Kind:   model.DiffUpdate,
+		Result: append([]model.Neighbor(nil), cur...),
+	}
+	for i := range cur {
+		n := cur[i]
+		if j, ok := idx[n.ID]; ok {
+			matched[j] = true
+			if old[j].Dist != n.Dist || j != i {
+				d.Reranked = append(d.Reranked, n)
+			}
+		} else {
+			d.Entered = append(d.Entered, n)
+		}
+	}
+	for j := range old {
+		if !matched[j] {
+			d.Exited = append(d.Exited, old[j].ID)
+		}
+	}
+	clear(idx)
+	e.diffSeen = matched
+	return d
+}
+
+// noteInstalled emits the DiffInstall event of a fresh registration; res is
+// the initial result snapshot (shared by Entered and Result — diffs are
+// read-only to consumers). The base of an installation is the empty set,
+// so later changes in the same window compose into the install event.
+func (e *Engine) noteInstalled(id model.QueryID, res []model.Neighbor) {
+	if !e.diffsOn {
+		return
+	}
+	e.diffAt[id] = len(e.diffs)
+	e.diffBase = append(e.diffBase, nil)
+	e.diffs = append(e.diffs, model.ResultDiff{
+		Query:   id,
+		Kind:    model.DiffInstall,
+		Entered: res,
+		Result:  res,
+	})
+}

@@ -61,6 +61,20 @@ type Engine struct {
 	// changed collects the queries whose results changed since the last
 	// ProcessBatch began — the notification set of Figure 3.9 line 10.
 	changed map[model.QueryID]bool
+
+	// Result-diff collection (diff.go): with diffsOn the engine derives,
+	// for every changed query, the entered/exited/re-ranked delta against
+	// its reported snapshot and buffers it until TakeDiffs. diffAt maps a
+	// query to its pending diff so repeated changes within one buffer
+	// window compose into a single event (diffBase keeps each pending
+	// diff's pre-change snapshot for that). diffIdx and diffSeen are the
+	// O(k) diff pass's reusable scratch.
+	diffsOn  bool
+	diffs    []model.ResultDiff
+	diffAt   map[model.QueryID]int
+	diffBase [][]model.Neighbor
+	diffIdx  map[model.ObjectID]int
+	diffSeen []bool
 }
 
 // query is one entry of the query table QT (Figure 3.3a).
@@ -174,6 +188,11 @@ func (e *Engine) Register(id model.QueryID, def Def) error {
 	e.compute(qu)
 	qu.reported = qu.best.snapshot()
 	e.changed[id] = true
+	if e.diffsOn {
+		// A second snapshot: qu.reported's backing array is reused in place
+		// by noteIfChanged, so the event must not alias it.
+		e.noteInstalled(id, qu.best.snapshot())
+	}
 	return nil
 }
 
@@ -183,13 +202,13 @@ func (e *Engine) RemoveQuery(id model.QueryID) {
 	if qu, ok := e.queries[id]; ok {
 		e.clearInfluence(qu)
 		delete(e.queries, id)
-		e.noteRemoved(id)
+		e.noteRemoved(id, qu.reported)
 		return
 	}
 	if rq, ok := e.ranges[id]; ok {
 		e.clearRange(rq)
 		delete(e.ranges, id)
-		e.noteRemoved(id)
+		e.noteRemoved(id, rq.reported)
 	}
 }
 

@@ -59,6 +59,7 @@ func (e *Engine) RegisterRange(id model.QueryID, center geom.Point, radius float
 	e.evaluateRange(rq)
 	rq.reported = e.RangeResult(id)
 	e.changed[id] = true
+	e.noteInstalled(id, rq.reported)
 	return nil
 }
 

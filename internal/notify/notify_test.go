@@ -1,0 +1,249 @@
+package notify
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cpm/internal/model"
+)
+
+func diff(q model.QueryID, resultIDs ...model.ObjectID) model.ResultDiff {
+	res := make([]model.Neighbor, len(resultIDs))
+	for i, id := range resultIDs {
+		res[i] = model.Neighbor{ID: id, Dist: float64(i)}
+	}
+	return model.ResultDiff{Query: q, Kind: model.DiffUpdate, Result: res}
+}
+
+// recv reads one event or fails the test after a timeout (a hung stream).
+func recv(t *testing.T, s *Subscription) (Event, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-s.Events():
+		return ev, ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return Event{}, false
+	}
+}
+
+func TestDeliveryOrderAndSeq(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{})
+	h.Publish([]model.ResultDiff{diff(1, 10), diff(2, 20)})
+	h.Publish([]model.ResultDiff{diff(1, 11)})
+	for i, want := range []struct {
+		seq uint64
+		q   model.QueryID
+	}{{1, 1}, {2, 2}, {3, 1}} {
+		ev, ok := recv(t, s)
+		if !ok {
+			t.Fatalf("stream closed at event %d", i)
+		}
+		if ev.Seq != want.seq || ev.Query != want.q {
+			t.Fatalf("event %d = seq %d q%d, want seq %d q%d", i, ev.Seq, ev.Query, want.seq, want.q)
+		}
+	}
+	s.Close()
+	if _, ok := recv(t, s); ok {
+		t.Fatal("events after Close")
+	}
+	if h.SubscriberCount() != 0 {
+		t.Fatalf("SubscriberCount after Close = %d", h.SubscriberCount())
+	}
+}
+
+func TestFilteredSubscription(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{}, 7)
+	h.Publish([]model.ResultDiff{diff(1, 10), diff(7, 70), diff(9, 90), diff(7, 71)})
+	ev, _ := recv(t, s)
+	if ev.Query != 7 || ev.Result[0].ID != 70 {
+		t.Fatalf("first filtered event = %+v", ev)
+	}
+	// Seq is per-subscription and assigned after the filter: no gaps from
+	// filtered-out events, so gap-based drop detection stays meaningful.
+	if ev.Seq != 1 {
+		t.Fatalf("first filtered Seq = %d, want 1", ev.Seq)
+	}
+	ev, _ = recv(t, s)
+	if ev.Query != 7 || ev.Result[0].ID != 71 {
+		t.Fatalf("second filtered event = %+v", ev)
+	}
+	if ev.Seq != 2 {
+		t.Fatalf("second filtered Seq = %d, want 2", ev.Seq)
+	}
+	s.Close()
+}
+
+// TestDropOldest checks the slow-consumer drop policy: with a consumer
+// that never reads, only the newest events survive; the newest event is
+// never dropped, sequence numbers stay monotonic, and received + Dropped
+// accounts for every published event.
+func TestDropOldest(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{Buffer: 2, Policy: DropOldest})
+	const total = 8
+	for i := 0; i < total; i++ {
+		h.Publish([]model.ResultDiff{diff(model.QueryID(i), model.ObjectID(i))})
+	}
+	h.Close() // drain-close: delivers what's left, then closes the stream
+	var got []Event
+	for {
+		ev, ok := recv(t, s)
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if len(got) == 0 || len(got) > 3 { // buffer 2 + at most 1 in flight
+		t.Fatalf("received %d events, want 1..3", len(got))
+	}
+	if int(s.Dropped())+len(got) != total {
+		t.Fatalf("dropped %d + received %d != published %d", s.Dropped(), len(got), total)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("sequence not monotonic: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+	if got[len(got)-1].Seq != total {
+		t.Fatalf("newest event dropped: last seq %d, want %d", got[len(got)-1].Seq, total)
+	}
+}
+
+// TestCoalesceLatest checks the coalescing policy: a blocked consumer sees
+// at most one pending event per query, and always that query's newest.
+func TestCoalesceLatest(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{Buffer: 8, Policy: CoalesceLatest})
+	h.Publish([]model.ResultDiff{diff(1, 100)})
+	h.Publish([]model.ResultDiff{diff(1, 101), diff(2, 200)})
+	h.Publish([]model.ResultDiff{diff(1, 102), diff(2, 201)})
+	h.Close()
+	last := make(map[model.QueryID]Event)
+	count := make(map[model.QueryID]int)
+	var prevSeq uint64
+	for {
+		ev, ok := recv(t, s)
+		if !ok {
+			break
+		}
+		if ev.Seq <= prevSeq {
+			t.Fatalf("coalesced delivery out of publish order: seq %d after %d", ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		last[ev.Query] = ev
+		count[ev.Query]++
+	}
+	if got := last[1].Result[0].ID; got != 102 {
+		t.Fatalf("q1 final state = %d, want 102 (latest)", got)
+	}
+	if got := last[2].Result[0].ID; got != 201 {
+		t.Fatalf("q2 final state = %d, want 201 (latest)", got)
+	}
+	// At most the in-flight event plus one coalesced slot per query.
+	if count[1] > 2 || count[2] > 2 {
+		t.Fatalf("coalescing failed: counts %v", count)
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("coalescing counted as drops: %d", s.Dropped())
+	}
+}
+
+func TestCoalesceFallsBackToDropWhenFull(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{Buffer: 2, Policy: CoalesceLatest})
+	// Four distinct queries: coalescing can't help, the oldest must go.
+	for q := model.QueryID(1); q <= 4; q++ {
+		h.Publish([]model.ResultDiff{diff(q, model.ObjectID(q))})
+	}
+	h.Close()
+	var got []Event
+	for {
+		ev, ok := recv(t, s)
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if int(s.Dropped())+len(got) != 4 {
+		t.Fatalf("dropped %d + received %d != 4", s.Dropped(), len(got))
+	}
+	if got[len(got)-1].Query != 4 {
+		t.Fatalf("newest event lost: last is q%d", got[len(got)-1].Query)
+	}
+}
+
+// TestUnsubscribeDuringDelivery closes a subscription while a publisher
+// goroutine is mid-stream: publishing must keep working, the stream must
+// close promptly, and nothing may deadlock or panic.
+func TestUnsubscribeDuringDelivery(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{Buffer: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Publish([]model.ResultDiff{diff(model.QueryID(i%3), model.ObjectID(i))})
+		}
+	}()
+	recv(t, s) // at least one delivery happened
+	s.Close()
+	s.Close() // idempotent
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-s.Events():
+			if !ok {
+				close(stop)
+				wg.Wait()
+				if h.SubscriberCount() != 0 {
+					t.Fatalf("subscriber still registered after Close")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not close")
+		}
+	}
+}
+
+func TestHubCloseDrainsBufferedEvents(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Options{Buffer: 8})
+	h.Publish([]model.ResultDiff{diff(1, 1), diff(2, 2), diff(3, 3)})
+	h.Close()
+	h.Publish([]model.ResultDiff{diff(4, 4)}) // after close: dropped on the floor
+	var got int
+	for {
+		ev, ok := recv(t, s)
+		if !ok {
+			break
+		}
+		got++
+		if ev.Query == 4 {
+			t.Fatal("event published after hub close was delivered")
+		}
+	}
+	if got != 3 {
+		t.Fatalf("drained %d events, want 3", got)
+	}
+}
+
+func TestSubscribeOnClosedHub(t *testing.T) {
+	h := NewHub()
+	h.Close()
+	s := h.Subscribe(Options{})
+	if _, ok := recv(t, s); ok {
+		t.Fatal("closed-hub subscription delivered an event")
+	}
+}

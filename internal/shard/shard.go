@@ -179,6 +179,34 @@ func (m *Monitor) ChangedQueries() []model.QueryID {
 	return out
 }
 
+// EnableDiffs switches per-cycle result-diff collection on or off in every
+// shard. Disabling discards any diffs not yet taken.
+func (m *Monitor) EnableDiffs(on bool) {
+	for _, e := range m.shards {
+		e.EnableDiffs(on)
+	}
+}
+
+// TakeDiffs fans the shards' per-cycle diff streams into one stream
+// stable-ordered by query id and resets them. Ownership is disjoint, so
+// the merge is duplicate-free, and the ordering contract makes the merged
+// stream byte-for-byte the single-engine stream for identical workloads
+// (asserted by this package's equivalence property test).
+func (m *Monitor) TakeDiffs() []model.ResultDiff {
+	if len(m.shards) == 1 {
+		return m.shards[0].TakeDiffs()
+	}
+	var out []model.ResultDiff
+	for _, e := range m.shards {
+		out = append(out, e.TakeDiffs()...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
 // Stats sums the shards' work counters. Searches, scans and re-computations
 // run only in the shard owning the affected query, so the sum equals a
 // single engine's counters for the same stream.

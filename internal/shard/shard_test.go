@@ -285,6 +285,8 @@ type monitor interface {
 	ChangedQueries() []model.QueryID
 	Stats() model.Stats
 	InvalidUpdates() int64
+	EnableDiffs(bool)
+	TakeDiffs() []model.ResultDiff
 }
 
 func (w *world) result(m monitor, id model.QueryID, def *qdef) []model.Neighbor {
@@ -297,9 +299,9 @@ func (w *world) result(m monitor, id model.QueryID, def *qdef) []model.Neighbor 
 // TestShardEquivalenceRandomWorkload is the sharding correctness property:
 // for identical random streams — object moves, churn, invalid updates,
 // query moves and terminations — sharded monitors at every shard count
-// return exactly the per-query results, change notifications, summed work
-// counters and invalid-update counts of a single engine, and match the
-// brute-force oracle, every cycle.
+// return exactly the per-query results, change notifications, result-diff
+// streams, summed work counters and invalid-update counts of a single
+// engine, and match the brute-force oracle, every cycle.
 func TestShardEquivalenceRandomWorkload(t *testing.T) {
 	const (
 		gridSize = 16
@@ -325,6 +327,7 @@ func TestShardEquivalenceRandomWorkload(t *testing.T) {
 		}
 		for _, m := range monitors {
 			m.Bootstrap(boot)
+			m.EnableDiffs(true)
 		}
 		for i := 0; i < initialQ; i++ {
 			w.install(t, monitors)
@@ -354,12 +357,17 @@ func TestShardEquivalenceRandomWorkload(t *testing.T) {
 			}
 
 			refChanged := single.ChangedQueries()
+			refDiffs := single.TakeDiffs()
 			refStats := single.Stats()
 			refInvalid := single.InvalidUpdates()
 			for _, s := range sharded {
 				if got := s.ChangedQueries(); !reflect.DeepEqual(got, refChanged) {
 					t.Fatalf("seed %d cycle %d: %s changed-query set\ngot  %v\nwant %v",
 						seed, cycle, s.Name(), got, refChanged)
+				}
+				if got := s.TakeDiffs(); !reflect.DeepEqual(got, refDiffs) {
+					t.Fatalf("seed %d cycle %d: %s diff stream\ngot  %v\nwant %v",
+						seed, cycle, s.Name(), got, refDiffs)
 				}
 				if got := s.Stats(); got != refStats {
 					t.Fatalf("seed %d cycle %d: %s summed stats\ngot  %+v\nwant %+v",
