@@ -20,16 +20,21 @@ race:
 	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/...
 
 # One iteration of every benchmark — keeps benchmark code compiling and
-# running without paying for a full measurement.
+# running without paying for a full measurement. -benchmem mirrors the CI
+# smoke step so allocs/op and B/op are always visible locally.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
-# Machine-readable method comparison for trajectory tracking.
+# Machine-readable method comparison for trajectory tracking. The report
+# carries mallocs/alloc_bytes next to the ns timings (cpmbench measures
+# allocation deltas around each method run), so local JSON runs feed the
+# same alloc columns the CI gate watches.
 bench-json:
 	$(GO) run ./cmd/cpmbench -exp none -scale 0.01 -ts 5 -json BENCH_local.json
 
 # Local mirror of the CI bench-trajectory gate: run the method comparison
-# and diff it against a saved baseline, failing on a >25% time regression.
+# and diff it against a saved baseline, failing on a >25% regression in any
+# time or allocation column.
 #
 #	make bench-json && cp BENCH_local.json BENCH_baseline.json
 #	... hack hack hack ...

@@ -1,5 +1,5 @@
 // Command benchdiff compares two cpmbench -json reports and fails on time
-// regressions — the CI bench-trajectory gate.
+// or allocation regressions — the CI bench-trajectory gate.
 //
 // Usage:
 //
@@ -7,12 +7,14 @@
 //	benchdiff -baseline old.json -current new.json -threshold 0.25 -summary "$GITHUB_STEP_SUMMARY"
 //
 // For every method present in both reports the ns columns (total_ns,
-// ns_per_cycle, register_ns) are compared; any column exceeding the
-// baseline by more than -threshold (default 0.25 = +25%) fails the run
-// with exit code 1, unless the baseline reading is below the 100µs noise
-// floor. The comparison table is printed to stdout and, with -summary,
-// appended to the given file (pass $GITHUB_STEP_SUMMARY in CI). Exit
-// codes: 0 ok, 1 regression, 2 usage or I/O error.
+// ns_per_cycle, register_ns) and the allocation columns (mallocs,
+// alloc_bytes) are compared; any column exceeding the baseline by more
+// than -threshold (default 0.25 = +25%) fails the run with exit code 1,
+// unless the baseline reading is below the metric's noise floor (100µs for
+// timings; 1000 mallocs / 256KiB for allocations). The comparison table is
+// printed to stdout and, with -summary, appended to the given file (pass
+// $GITHUB_STEP_SUMMARY in CI). Exit codes: 0 ok, 1 regression, 2 usage or
+// I/O error.
 package main
 
 import (

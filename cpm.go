@@ -406,11 +406,16 @@ func (m *Monitor) SubscribeWith(opts SubscribeOptions, ids ...QueryID) *Subscrip
 	return m.hub.Subscribe(opts, ids...)
 }
 
-// Close shuts down streaming delivery: every subscription's buffered
-// events drain and its Events channel closes, and diff collection stops.
-// The monitor itself stays usable — polling Result and ChangedQueries
-// continues to work, and a later Subscribe starts a fresh hub.
+// Close releases the monitor's background resources: streaming delivery
+// shuts down (every subscription's buffered events drain and its Events
+// channel closes, and diff collection stops), and a sharded monitor's
+// persistent worker goroutines stop. The monitor itself stays usable —
+// polling Result and ChangedQueries continues to work, a later Subscribe
+// starts a fresh hub, and a later Tick restarts the shard workers.
 func (m *Monitor) Close() {
+	if c, ok := m.e.(interface{ Close() }); ok {
+		c.Close()
+	}
 	if m.hub == nil {
 		return
 	}

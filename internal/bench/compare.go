@@ -8,14 +8,22 @@ import (
 )
 
 // Bench-trajectory comparison: the CI gate that pins BENCH_*.json reports
-// of consecutive runs against each other and fails on large time
-// regressions. cmd/benchdiff is the command-line front end; the Makefile's
-// bench-compare target mirrors the gate locally.
+// of consecutive runs against each other and fails on large time or
+// allocation regressions. cmd/benchdiff is the command-line front end; the
+// Makefile's bench-compare target mirrors the gate locally.
 
 // NoiseFloorNs is the baseline value below which a time metric never
 // gates: micro-benchmark readings under 100µs are dominated by scheduler
 // and timer noise on shared CI runners.
 const NoiseFloorNs = 100_000
+
+// Allocation noise floors: counts below these never gate. Allocation
+// counters are process-wide deltas, so tiny baselines (a handful of map
+// growths, one-off warm-up) would make the ratio meaningless.
+const (
+	NoiseFloorMallocs    = 1_000
+	NoiseFloorAllocBytes = 256 * 1024
+)
 
 // Delta is one (method, metric) comparison between two reports.
 type Delta struct {
@@ -25,6 +33,9 @@ type Delta struct {
 	Current   int64   `json:"current"`
 	Ratio     float64 `json:"ratio"` // Current / Base; 0 (undefined) when Base is 0 and Current is not
 	Regressed bool    `json:"regressed"`
+	// floor is the metric's noise floor, carried from gatedMetrics so the
+	// gate and the rendering agree on one value per metric.
+	floor int64
 }
 
 // Comparison is the outcome of comparing a current report against a
@@ -37,24 +48,29 @@ type Comparison struct {
 	Missing []string `json:"missing,omitempty"`
 }
 
-// timeMetrics are the ns columns of MethodResult the gate watches.
-func timeMetrics(r MethodResult) []struct {
+// gatedMetric is one gated column of MethodResult with its noise floor.
+type gatedMetric struct {
 	Name  string
 	Value int64
-} {
-	return []struct {
-		Name  string
-		Value int64
-	}{
-		{"total_ns", r.TotalNs},
-		{"ns_per_cycle", r.NsPerCycle},
-		{"register_ns", r.RegisterNs},
+	Floor int64
+}
+
+// gatedMetrics are the columns of MethodResult the gate watches: the ns
+// timings plus the allocation counters, each with its own noise floor.
+func gatedMetrics(r MethodResult) []gatedMetric {
+	return []gatedMetric{
+		{"total_ns", r.TotalNs, NoiseFloorNs},
+		{"ns_per_cycle", r.NsPerCycle, NoiseFloorNs},
+		{"register_ns", r.RegisterNs, NoiseFloorNs},
+		{"mallocs", int64(r.Mallocs), NoiseFloorMallocs},
+		{"alloc_bytes", int64(r.AllocBytes), NoiseFloorAllocBytes},
 	}
 }
 
-// Compare evaluates every shared method's time metrics of cur against
+// Compare evaluates every shared method's gated metrics of cur against
 // base. A metric regresses when it exceeds the baseline by more than
-// threshold (0.25 = +25%) and the baseline is above the noise floor.
+// threshold (0.25 = +25%) and the baseline is above the metric's noise
+// floor.
 func Compare(base, cur Report, threshold float64) Comparison {
 	c := Comparison{Threshold: threshold}
 	baseByMethod := make(map[string]MethodResult, len(base.Methods))
@@ -69,20 +85,21 @@ func Compare(base, cur Report, threshold float64) Comparison {
 			c.Missing = append(c.Missing, m.Method+" (not in baseline)")
 			continue
 		}
-		bm, cm := timeMetrics(b), timeMetrics(m)
+		bm, cm := gatedMetrics(b), gatedMetrics(m)
 		for i := range bm {
 			d := Delta{
 				Method:  m.Method,
 				Metric:  bm[i].Name,
 				Base:    bm[i].Value,
 				Current: cm[i].Value,
+				floor:   bm[i].Floor,
 			}
 			if d.Base > 0 {
 				d.Ratio = float64(d.Current) / float64(d.Base)
 			} else if d.Current == 0 {
 				d.Ratio = 1
 			} // else: undefined vs a zero baseline; Ratio stays 0, shown as n/a
-			d.Regressed = d.Base > NoiseFloorNs && float64(d.Current) > float64(d.Base)*(1+threshold)
+			d.Regressed = d.Base > bm[i].Floor && float64(d.Current) > float64(d.Base)*(1+threshold)
 			c.Deltas = append(c.Deltas, d)
 		}
 	}
@@ -108,7 +125,7 @@ func (c Comparison) Regressed() bool {
 // a job step summary.
 func (c Comparison) Markdown() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "### Bench trajectory (gate: +%.0f%% on any time metric)\n\n", c.Threshold*100)
+	fmt.Fprintf(&b, "### Bench trajectory (gate: +%.0f%% on any time or allocation metric)\n\n", c.Threshold*100)
 	b.WriteString("| Method | Metric | Baseline | Current | Δ | |\n")
 	b.WriteString("|---|---|---:|---:|---:|---|\n")
 	for _, d := range c.Deltas {
@@ -116,7 +133,7 @@ func (c Comparison) Markdown() string {
 		switch {
 		case d.Regressed:
 			mark = "❌ regression"
-		case d.Base > NoiseFloorNs && float64(d.Current) < float64(d.Base)*(1-c.Threshold):
+		case d.Base > d.floor && float64(d.Current) < float64(d.Base)*(1-c.Threshold):
 			mark = "🎉 faster"
 		}
 		delta := "n/a"

@@ -27,8 +27,45 @@ func TestCompareNoRegression(t *testing.T) {
 	if c.Regressed() {
 		t.Fatalf("+10%% flagged as regression: %+v", c.Deltas)
 	}
-	if len(c.Deltas) != 6 {
-		t.Fatalf("deltas = %d, want 2 methods × 3 metrics", len(c.Deltas))
+	if len(c.Deltas) != 10 {
+		t.Fatalf("deltas = %d, want 2 methods × 5 metrics", len(c.Deltas))
+	}
+}
+
+func reportWithAllocs(mallocs, bytes uint64) Report {
+	r := reportWith(map[string]int64{"CPM": 10_000_000})
+	r.Methods[0].Mallocs = mallocs
+	r.Methods[0].AllocBytes = bytes
+	return r
+}
+
+// TestCompareDetectsAllocRegression: the gate watches allocation counters
+// the same way it watches time, so an allocation-heavy change fails CI even
+// when wall time is inside the threshold.
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	base := reportWithAllocs(100_000, 10<<20)
+	cur := reportWithAllocs(150_000, 10<<20) // +50% mallocs
+	c := Compare(base, cur, 0.25)
+	if !c.Regressed() {
+		t.Fatal("+50% mallocs not detected")
+	}
+	for _, d := range c.Deltas {
+		if d.Regressed && d.Metric != "mallocs" {
+			t.Fatalf("wrong metric flagged: %s", d.Metric)
+		}
+	}
+	if !strings.Contains(c.Markdown(), "mallocs") {
+		t.Fatalf("markdown missing alloc column:\n%s", c.Markdown())
+	}
+}
+
+func TestCompareAllocNoiseFloor(t *testing.T) {
+	// A jump from 500 to 5000 mallocs is 10× but under the floor: counts
+	// this small are warm-up effects, not a hot-path regression.
+	base := reportWithAllocs(500, 64<<10)
+	cur := reportWithAllocs(5_000, 128<<10)
+	if c := Compare(base, cur, 0.25); c.Regressed() {
+		t.Fatalf("sub-floor alloc reading gated: %+v", c.Deltas)
 	}
 }
 

@@ -180,6 +180,12 @@ func RunMethod(method Method, cfg Config) (Measurement, error) {
 		return Measurement{}, err
 	}
 	mon := method.NewMonitor(cfg.GridSize, cfg.Shards)
+	// A sharded monitor owns persistent worker goroutines; release them
+	// when the measurement is done so table sweeps don't accumulate idle
+	// workers across dozens of discarded monitors.
+	if c, ok := mon.(interface{ Close() }); ok {
+		defer c.Close()
+	}
 	mon.Bootstrap(w.InitialObjects())
 
 	// With MeasureAllocs the whole update stream is generated up front, so

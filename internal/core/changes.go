@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"cpm/internal/model"
 )
@@ -13,6 +13,8 @@ import (
 // and after each processing cycle exposes the set of queries whose current
 // result differs. Only queries actually touched by a cycle are compared,
 // so the check costs O(k) per *affected* query, not per installed query.
+// The set itself is a reused slice deduped by generation stamp, so a
+// steady-state cycle records changes without allocating.
 
 // reportedEqual compares a stored snapshot with the live result.
 func reportedEqual(reported, current []model.Neighbor) bool {
@@ -27,6 +29,17 @@ func reportedEqual(reported, current []model.Neighbor) bool {
 	return true
 }
 
+// markChanged records id in the notification set. mark is the owning
+// query's dedupe stamp: a query already recorded in the current window is
+// not appended again.
+func (e *Engine) markChanged(id model.QueryID, mark *int64) {
+	if *mark == e.changeGen {
+		return
+	}
+	*mark = e.changeGen
+	e.changedIDs = append(e.changedIDs, id)
+}
+
 // noteIfChanged compares a k-NN query's result against its reported
 // snapshot, records a change (and, with diffs enabled, the exact delta)
 // and refreshes the snapshot.
@@ -39,20 +52,24 @@ func (e *Engine) noteIfChanged(qu *query) {
 		e.noteDiff(qu.id, qu.reported, cur)
 	}
 	qu.reported = append(qu.reported[:0], cur...)
-	e.changed[qu.id] = true
+	e.markChanged(qu.id, &qu.changedMark)
 }
 
-// noteRangeIfChanged does the same for a range query.
+// noteRangeIfChanged does the same for a range query. The current sorted
+// result is built into the engine's pooled scratch buffer, so the
+// unchanged-fast-path comparison (and the snapshot refresh) allocates
+// nothing once the buffers are warm.
 func (e *Engine) noteRangeIfChanged(rq *rangeQuery) {
-	cur := e.RangeResult(rq.id)
+	cur := appendRangeResult(e.rangeScratch[:0], rq)
+	e.rangeScratch = cur
 	if reportedEqual(rq.reported, cur) {
 		return
 	}
 	if e.diffsOn {
 		e.noteDiff(rq.id, rq.reported, cur)
 	}
-	rq.reported = cur
-	e.changed[rq.id] = true
+	rq.reported = append(rq.reported[:0], cur...)
+	e.markChanged(rq.id, &rq.changedMark)
 }
 
 // noteRemoved reports a query's disappearance as a final change;
@@ -61,9 +78,9 @@ func (e *Engine) noteRangeIfChanged(rq *rangeQuery) {
 // event lists what the subscriber actually saw (the pending diff's base),
 // and a reinstall of the id later in the window starts a fresh event.
 func (e *Engine) noteRemoved(id model.QueryID, lastReported []model.Neighbor) {
-	if e.changed != nil {
-		e.changed[id] = true
-	}
+	// The query struct (and its dedupe stamp) is gone, so append
+	// unconditionally; ChangedQueries dedupes on read.
+	e.changedIDs = append(e.changedIDs, id)
 	if !e.diffsOn {
 		return
 	}
@@ -91,13 +108,11 @@ func (e *Engine) noteRemoved(id model.QueryID, lastReported []model.Neighbor) {
 // were terminated by it), in ascending order. The set resets at the start
 // of every cycle.
 func (e *Engine) ChangedQueries() []model.QueryID {
-	if len(e.changed) == 0 {
+	if len(e.changedIDs) == 0 {
 		return nil
 	}
-	out := make([]model.QueryID, 0, len(e.changed))
-	for id := range e.changed {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	out := append([]model.QueryID(nil), e.changedIDs...)
+	slices.Sort(out)
+	// Terminations append without a dedupe stamp; compact duplicates.
+	return slices.Compact(out)
 }

@@ -310,3 +310,47 @@ func TestDiffReplayReconstructsResult(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffEventsImmutableAfterDelivery pins the aliasing contract of taken
+// diffs: the engine reuses its reported-snapshot buffers in place across
+// cycles, so events handed out by TakeDiffs must never share backing arrays
+// with them. A subscriber may hold an event indefinitely (and read it from
+// another goroutine) while the engine keeps processing.
+func TestDiffEventsImmutableAfterDelivery(t *testing.T) {
+	e := diffEngine(t)
+	if err := e.RegisterQuery(1, geom.Point{X: 0.5, Y: 0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterRange(2, geom.Point{X: 0.5, Y: 0.5}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	taken := e.TakeDiffs()
+	if len(taken) != 2 {
+		t.Fatalf("diffs after installs = %v", taken)
+	}
+	held := make([]model.ResultDiff, len(taken))
+	copy(held, taken)
+	want := make([][]model.Neighbor, len(held))
+	for i, d := range held {
+		want[i] = append([]model.Neighbor(nil), d.Result...)
+	}
+	// Swap the membership of both queries to a different non-empty set, so
+	// the engine's in-place snapshot reuse rewrites every element slot the
+	// held events would alias: object 2 leaves the neighborhood, object 3
+	// enters it.
+	e.ProcessBatch(model.Batch{Objects: []model.Update{
+		model.MoveUpdate(2, geom.Point{}, geom.Point{X: 0.90, Y: 0.10}),
+		model.MoveUpdate(3, geom.Point{}, geom.Point{X: 0.52, Y: 0.55}),
+	}})
+	e.TakeDiffs()
+	for i, d := range held {
+		if !reflect.DeepEqual([]model.Neighbor(d.Result), want[i]) {
+			t.Errorf("held event %d (query %d) mutated: Result = %v, want %v",
+				i, d.Query, d.Result, want[i])
+		}
+		if d.Kind == model.DiffInstall && !reflect.DeepEqual([]model.Neighbor(d.Entered), want[i]) {
+			t.Errorf("held install event %d (query %d) mutated: Entered = %v, want %v",
+				i, d.Query, d.Entered, want[i])
+		}
+	}
+}

@@ -58,9 +58,22 @@ type Engine struct {
 	dirty          []*query      // queries touched by the current cycle
 	dirtyRanges    []*rangeQuery // range queries touched by the current cycle
 
-	// changed collects the queries whose results changed since the last
+	// changedIDs collects the queries whose results changed since the last
 	// ProcessBatch began — the notification set of Figure 3.9 line 10.
-	changed map[model.QueryID]bool
+	// Instead of a per-cycle map, the set is a reused dense slice deduped
+	// by generation stamp: a query appends itself at most once per
+	// changeGen (terminated queries append unconditionally; ChangedQueries
+	// dedupes on read). Steady-state cycles therefore allocate nothing.
+	changedIDs []model.QueryID
+	changeGen  int64 // bumped at the start of every ProcessBatch; starts at 1
+	// batchGen stamps the queries that have their own update in the current
+	// batch — the per-cycle "ignore" set of Figure 3.9 (their results are
+	// rebuilt by the query update anyway), without a per-cycle map.
+	batchGen int64
+	// rangeScratch is the pooled buffer noteRangeIfChanged builds the
+	// current sorted range result into, so per-cycle range-change checks
+	// allocate nothing.
+	rangeScratch []model.Neighbor
 
 	// Result-diff collection (diff.go): with diffsOn the engine derives,
 	// for every changed query, the entered/exited/re-ranked delta against
@@ -100,6 +113,13 @@ type query struct {
 	// reported is the result as last exposed through ChangedQueries.
 	reported []model.Neighbor
 
+	// changedMark dedupes the query's entry in the engine's changedIDs
+	// list (== changeGen once recorded this notification window);
+	// ignoreMark == batchGen marks a query with its own update in the
+	// current batch, skipped by the object-update scans.
+	changedMark int64
+	ignoreMark  int64
+
 	// Per-cycle update-handling state (Figure 3.8 lines 1–3), initialized
 	// lazily by touch the first time a cycle's update concerns the query.
 	cycleMark int64
@@ -129,7 +149,10 @@ func NewEngine(gridSize int, workspace geom.Rect, opts Options) *Engine {
 		opts:    opts,
 		queries: make(map[model.QueryID]*query),
 		ranges:  make(map[model.QueryID]*rangeQuery),
-		changed: make(map[model.QueryID]bool),
+		// Generations start at 1 so the zero-valued marks of fresh query
+		// structs never collide with the current generation.
+		changeGen: 1,
+		batchGen:  1,
 	}
 }
 
@@ -187,7 +210,7 @@ func (e *Engine) Register(id model.QueryID, def Def) error {
 	e.queries[id] = qu
 	e.compute(qu)
 	qu.reported = qu.best.snapshot()
-	e.changed[id] = true
+	e.markChanged(id, &qu.changedMark)
 	if e.diffsOn {
 		// A second snapshot: qu.reported's backing array is reused in place
 		// by noteIfChanged, so the event must not alias it.

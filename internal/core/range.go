@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"cpm/internal/geom"
 	"cpm/internal/grid"
@@ -27,11 +27,17 @@ type rangeQuery struct {
 	center geom.Point
 	radius float64
 
-	members map[model.ObjectID]float64 // current result: object -> distance
-	cells   []grid.CellIndex           // influence cells (disk cover)
+	// members is the current result (object -> distance). Membership needs
+	// O(1) keyed update from rangeScan, and unlike the grid's cell sets it
+	// is only iterated when this query's result actually changed, so a map
+	// stays the right structure here (see README "Design notes").
+	members map[model.ObjectID]float64
+	cells   []grid.CellIndex // influence cells (disk cover)
 
-	reported  []model.Neighbor // result as last exposed through ChangedQueries
-	cycleMark int64            // dedupe marker for the per-cycle touch list
+	reported    []model.Neighbor // result as last exposed through ChangedQueries
+	cycleMark   int64            // dedupe marker for the per-cycle touch list
+	changedMark int64            // dedupe marker for the notification set
+	ignoreMark  int64            // == Engine.batchGen when updated this batch
 }
 
 // RegisterRange installs a continuous range query: it continuously reports
@@ -58,24 +64,31 @@ func (e *Engine) RegisterRange(id model.QueryID, center geom.Point, radius float
 	e.ranges[id] = rq
 	e.evaluateRange(rq)
 	rq.reported = e.RangeResult(id)
-	e.changed[id] = true
-	e.noteInstalled(id, rq.reported)
+	e.markChanged(id, &rq.changedMark)
+	if e.diffsOn {
+		// A second snapshot: rq.reported's backing array is reused in place
+		// by noteRangeIfChanged, so the install event must not alias it.
+		e.noteInstalled(id, e.RangeResult(id))
+	}
 	return nil
 }
 
 // evaluateRange computes the result from scratch and installs the
-// influence entries for the disk cover.
+// influence entries for the disk cover. The adds are unchecked: the query
+// holds no influence entries on entry (fresh registration, or clearRange
+// ran) and CellsInCircle enumerates distinct cells.
 func (e *Engine) evaluateRange(rq *rangeQuery) {
 	e.stats.FullSearches++
 	e.g.CellsInCircle(rq.center, rq.radius, func(c grid.CellIndex) {
-		e.g.AddInfluence(c, rq.id)
+		e.g.AddInfluenceUnchecked(c, rq.id)
 		rq.cells = append(rq.cells, c)
-		e.g.ScanObjects(c, func(id model.ObjectID, p geom.Point) {
-			e.stats.ObjectsProcessed++
-			if d := geom.Dist(p, rq.center); d <= rq.radius {
+		objs := e.g.CellObjects(c)
+		e.stats.ObjectsProcessed += int64(len(objs))
+		for _, id := range objs {
+			if d := geom.Dist(e.g.Pos(id), rq.center); d <= rq.radius {
 				rq.members[id] = d
 			}
-		})
+		}
 	})
 }
 
@@ -85,9 +98,7 @@ func (e *Engine) clearRange(rq *rangeQuery) {
 		e.g.RemoveInfluence(c, rq.id)
 	}
 	rq.cells = rq.cells[:0]
-	for id := range rq.members {
-		delete(rq.members, id)
-	}
+	clear(rq.members)
 }
 
 // MoveRange relocates a continuous range query. Like a moving k-NN query
@@ -107,17 +118,14 @@ func (e *Engine) MoveRange(id model.QueryID, center geom.Point) error {
 	return nil
 }
 
-// rangeUpdate folds one object event into every range query whose
-// influence lists route it here. leaving is the update's old cell (NoCell
-// for inserts), entering the new one (NoCell for deletes).
-func (e *Engine) rangeScan(c grid.CellIndex, id model.ObjectID, pos geom.Point, present bool, ignored map[model.QueryID]bool) {
-	e.g.ForEachInfluence(c, func(qid model.QueryID) {
+// rangeScan folds one object event into every range query whose influence
+// lists route it here. present is false for deletes; the influence list is
+// iterated as a borrowed slice (membership updates never touch it).
+func (e *Engine) rangeScan(c grid.CellIndex, id model.ObjectID, pos geom.Point, present bool) {
+	for _, qid := range e.g.Influence(c) {
 		rq, ok := e.ranges[qid]
-		if !ok {
-			return
-		}
-		if ignored != nil && ignored[qid] {
-			return
+		if !ok || rq.ignoreMark == e.batchGen {
+			continue
 		}
 		if rq.cycleMark != e.cycle {
 			rq.cycleMark = e.cycle
@@ -125,14 +133,14 @@ func (e *Engine) rangeScan(c grid.CellIndex, id model.ObjectID, pos geom.Point, 
 		}
 		if !present {
 			delete(rq.members, id)
-			return
+			continue
 		}
 		if d := geom.Dist(pos, rq.center); d <= rq.radius {
 			rq.members[id] = d
 		} else {
 			delete(rq.members, id)
 		}
-	})
+	}
 }
 
 // IsRange reports whether id names an installed range query.
@@ -148,12 +156,28 @@ func (e *Engine) RangeResult(id model.QueryID) []model.Neighbor {
 	if !ok {
 		return nil
 	}
-	out := make([]model.Neighbor, 0, len(rq.members))
+	return appendRangeResult(make([]model.Neighbor, 0, len(rq.members)), rq)
+}
+
+// appendRangeResult appends rq's members to buf ordered by (distance, id)
+// and returns the extended slice. slices.SortFunc keeps the pass
+// allocation-free, so per-cycle change detection can run it on a pooled
+// scratch buffer.
+func appendRangeResult(buf []model.Neighbor, rq *rangeQuery) []model.Neighbor {
+	start := len(buf)
 	for oid, d := range rq.members {
-		out = append(out, model.Neighbor{ID: oid, Dist: d})
+		buf = append(buf, model.Neighbor{ID: oid, Dist: d})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	slices.SortFunc(buf[start:], func(a, b model.Neighbor) int {
+		if a.Less(b) {
+			return -1
+		}
+		if b.Less(a) {
+			return 1
+		}
+		return 0
+	})
+	return buf
 }
 
 func finitePoint(p geom.Point) bool {

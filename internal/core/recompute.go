@@ -25,15 +25,21 @@ func (e *Engine) recompute(qu *query) {
 	qu.best.reset()
 
 	// Replay the visit list (Figure 3.6 lines 2–6). Influence entries are
-	// re-added for every processed cell: earlier shrinks may have trimmed
-	// entries that the (necessarily larger) new best_dist needs again.
+	// exactly the visit prefix [0, influenceEnd) — finishSearch and
+	// shrinkInfluence maintain that invariant — so replayed cells inside
+	// the prefix already carry their entry, and cells beyond it (trimmed by
+	// earlier shrinks but needed again by the necessarily larger new
+	// best_dist) get an unchecked O(1) append.
 	processed := 0
 	for processed < len(qu.visit) {
 		ve := qu.visit[processed]
 		if ve.key >= qu.best.kthDist() {
 			break
 		}
-		e.scanCell(qu, ve.cell)
+		e.scanCellObjects(qu, ve.cell)
+		if processed >= oldInfluenceEnd {
+			e.g.AddInfluenceUnchecked(ve.cell, qu.id)
+		}
 		processed++
 	}
 

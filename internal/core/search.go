@@ -6,7 +6,6 @@ import (
 	"cpm/internal/conc"
 	"cpm/internal/geom"
 	"cpm/internal/grid"
-	"cpm/internal/model"
 )
 
 // compute is the NN Computation module (paper Figure 3.4), extended to
@@ -129,17 +128,31 @@ func (e *Engine) runSearch(qu *query, part conc.Partition) {
 
 // scanCell processes the objects of one cell against the query (Figure 3.4
 // lines 10–11): each admissible object is offered to best_NN, and the query
-// is recorded in the cell's influence list.
+// is recorded in the cell's influence list. The cell's object list is
+// iterated as a borrowed slice — offering to best_NN never mutates the
+// grid — so the scan allocates nothing. The influence add is unchecked:
+// scanCell runs only for cells freshly de-heaped by a search, each of which
+// enters the visit list exactly once while influence entries are always a
+// prefix of that list, so the query cannot already be present.
 func (e *Engine) scanCell(qu *query, c grid.CellIndex) {
+	e.scanCellObjects(qu, c)
+	e.g.AddInfluenceUnchecked(c, qu.id)
+}
+
+// scanCellObjects is scanCell without the influence bookkeeping, for the
+// re-computation replay, which knows per visit entry whether the influence
+// entry already exists.
+func (e *Engine) scanCellObjects(qu *query, c grid.CellIndex) {
 	def := &qu.def
-	e.g.ScanObjects(c, func(id model.ObjectID, p geom.Point) {
-		e.stats.ObjectsProcessed++
+	objs := e.g.CellObjects(c)
+	e.stats.ObjectsProcessed += int64(len(objs))
+	for _, id := range objs {
+		p := e.g.Pos(id)
 		if !def.admits(p) {
-			return
+			continue
 		}
 		qu.best.offer(id, def.dist(p))
-	})
-	e.g.AddInfluence(c, qu.id)
+	}
 }
 
 // finishSearch trims influence-list entries down to the influence region:

@@ -16,13 +16,21 @@ import (
 // Inconsistent stream elements (moves or deletes of unknown objects,
 // duplicate inserts, updates for unknown queries) are dropped and counted
 // in InvalidUpdates; a monitoring server must outlive a misbehaving client.
+//
+// A steady-state cycle (moves only, warmed buffers) performs zero heap
+// allocations: the per-cycle sets are generation-stamped reused slices, and
+// all influence and cell scans iterate borrowed grid slices.
 func (e *Engine) ProcessBatch(b model.Batch) {
-	clear(e.changed)
-	var ignored map[model.QueryID]bool
-	if len(b.Queries) > 0 {
-		ignored = make(map[model.QueryID]bool, len(b.Queries))
-		for _, qu := range b.Queries {
-			ignored[qu.ID] = true
+	e.changeGen++
+	e.changedIDs = e.changedIDs[:0]
+	e.batchGen++
+	for _, qu := range b.Queries {
+		// Stamp the queries with their own updates this cycle; the
+		// object-update scans skip them instead of consulting a map.
+		if q, ok := e.queries[qu.ID]; ok {
+			q.ignoreMark = e.batchGen
+		} else if rq, ok := e.ranges[qu.ID]; ok {
+			rq.ignoreMark = e.batchGen
 		}
 	}
 
@@ -33,13 +41,13 @@ func (e *Engine) ProcessBatch(b model.Batch) {
 		// compensated for it.
 		for _, u := range b.Objects {
 			e.cycle++
-			e.applyObjectUpdate(u, ignored)
+			e.applyObjectUpdate(u)
 			e.resolveDirty()
 		}
 	} else {
 		e.cycle++
 		for _, u := range b.Objects {
-			e.applyObjectUpdate(u, ignored)
+			e.applyObjectUpdate(u)
 		}
 		e.resolveDirty()
 	}
@@ -96,7 +104,7 @@ func (e *Engine) touch(qu *query) {
 // influence-list scans of Figure 3.8 (lines 4–16), extended with insert and
 // delete events: a deleted NN is an outgoing NN ("CPM trivially deals with
 // off-line NNs by treating them as outgoing ones", Section 4.2).
-func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]bool) {
+func (e *Engine) applyObjectUpdate(u model.Update) {
 	switch u.Kind {
 	case model.Move:
 		if !finitePoint(u.New) {
@@ -116,11 +124,11 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 		if e.g.InfluenceLen(oldCell) == 0 && e.g.InfluenceLen(newCell) == 0 {
 			return
 		}
-		e.scanOldCell(u.ID, u.New, oldCell, ignored)
-		e.scanNewCell(u.ID, u.New, newCell, ignored)
-		e.rangeScan(oldCell, u.ID, u.New, true, ignored)
+		e.scanOldCell(u.ID, u.New, oldCell)
+		e.scanNewCell(u.ID, u.New, newCell)
+		e.rangeScan(oldCell, u.ID, u.New, true)
 		if newCell != oldCell {
-			e.rangeScan(newCell, u.ID, u.New, true, ignored)
+			e.rangeScan(newCell, u.ID, u.New, true)
 		}
 	case model.Insert:
 		if !finitePoint(u.New) {
@@ -135,8 +143,8 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 		if e.g.InfluenceLen(newCell) == 0 {
 			return
 		}
-		e.scanNewCell(u.ID, u.New, newCell, ignored)
-		e.rangeScan(newCell, u.ID, u.New, true, ignored)
+		e.scanNewCell(u.ID, u.New, newCell)
+		e.rangeScan(newCell, u.ID, u.New, true)
 	case model.Delete:
 		pos, ok := e.g.Position(u.ID)
 		if !ok {
@@ -151,18 +159,18 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 		if e.g.InfluenceLen(oldCell) == 0 {
 			return
 		}
-		e.g.ForEachInfluence(oldCell, func(qid model.QueryID) {
-			qu := e.lookupActive(qid, ignored)
+		for _, qid := range e.g.Influence(oldCell) {
+			qu := e.lookupActive(qid)
 			if qu == nil {
-				return
+				continue
 			}
 			e.touch(qu)
 			if qu.best.remove(u.ID) {
 				qu.outCount++
 			}
 			qu.dropIncomer(u.ID)
-		})
-		e.rangeScan(oldCell, u.ID, pos, false, ignored)
+		}
+		e.rangeScan(oldCell, u.ID, pos, false)
 	default:
 		e.invalidObjects++
 	}
@@ -172,16 +180,18 @@ func (e *Engine) applyObjectUpdate(u model.Update, ignored map[model.QueryID]boo
 // left: a current NN either has its order updated (it stays within
 // refDist) or becomes an outgoing NN. A pending incomer that moved again is
 // dropped from in_list; scanNewCell re-admits it if it still qualifies.
-func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex, ignored map[model.QueryID]bool) {
-	e.g.ForEachInfluence(c, func(qid model.QueryID) {
-		qu := e.lookupActive(qid, ignored)
+// The influence list is iterated as a borrowed slice: the scans only
+// mutate per-query result state, never the influence lists themselves.
+func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
+	for _, qid := range e.g.Influence(c) {
+		qu := e.lookupActive(qid)
 		if qu == nil {
-			return
+			continue
 		}
 		e.touch(qu)
 		if !qu.best.contains(id) {
 			qu.dropIncomer(id)
-			return
+			continue
 		}
 		d := qu.def.dist(newPos)
 		if d <= qu.refDist && qu.def.admits(newPos) {
@@ -190,21 +200,21 @@ func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIn
 			qu.best.remove(id)
 			qu.outCount++
 		}
-	})
+	}
 }
 
 // scanNewCell handles lines 14–16 of Figure 3.8 for the cell the object
 // entered: an object other than a current NN that lies within refDist (and
 // inside the constraint region, if any) is an incoming object.
-func (e *Engine) scanNewCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex, ignored map[model.QueryID]bool) {
-	e.g.ForEachInfluence(c, func(qid model.QueryID) {
-		qu := e.lookupActive(qid, ignored)
+func (e *Engine) scanNewCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
+	for _, qid := range e.g.Influence(c) {
+		qu := e.lookupActive(qid)
 		if qu == nil {
-			return
+			continue
 		}
 		e.touch(qu)
 		if qu.best.contains(id) {
-			return
+			continue
 		}
 		d := qu.def.dist(newPos)
 		if d <= qu.refDist && qu.def.admits(newPos) {
@@ -216,7 +226,7 @@ func (e *Engine) scanNewCell(id model.ObjectID, newPos geom.Point, c grid.CellIn
 		} else {
 			qu.dropIncomer(id)
 		}
-	})
+	}
 }
 
 // dropIncomer removes a pending incomer. If the capped in_list previously
@@ -229,11 +239,14 @@ func (qu *query) dropIncomer(id model.ObjectID) {
 	}
 }
 
-func (e *Engine) lookupActive(qid model.QueryID, ignored map[model.QueryID]bool) *query {
-	if ignored != nil && ignored[qid] {
+// lookupActive resolves a k-NN query id routed through an influence list,
+// skipping queries with their own update in the current batch.
+func (e *Engine) lookupActive(qid model.QueryID) *query {
+	qu := e.queries[qid]
+	if qu == nil || qu.ignoreMark == e.batchGen {
 		return nil
 	}
-	return e.queries[qid]
+	return qu
 }
 
 // resolveDirty performs lines 17–24 of Figure 3.8 for every query touched

@@ -9,10 +9,16 @@
 // (i) the set of objects inside it and (ii) the influence list — the queries
 // whose influence (or answer) region contains the cell.
 //
-// Object and influence sets are hash tables, as the paper prescribes, so
-// deletion and insertion take expected constant time (Time_ind = 2 in the
-// Section 4.1 model). The grid also owns the object position store and the
-// cell-access counter that backs Figure 6.3b.
+// The paper prescribes hash tables for both sets so that deletion and
+// insertion take expected constant time (Time_ind = 2 in the Section 4.1
+// model). This implementation substitutes dense swap-delete slices
+// (documented substitution, README "Design notes"): object sets carry an
+// intrusive object→slot index so removal stays O(1), influence sets are
+// short dense arrays where a linear swap-delete beats hashing in practice.
+// Both keep the paper's asymptotics while making the three hot loops —
+// relocation, influence scans, cell scans — branch-predictable pointer-free
+// slice walks with zero allocation. The grid also owns the object position
+// store and the cell-access counter that backs Figure 6.3b.
 package grid
 
 import (
@@ -30,11 +36,11 @@ type CellIndex int32
 const NoCell CellIndex = -1
 
 // Cell holds the per-cell book-keeping of Figure 3.3: the object list and
-// the influence list. Maps are created lazily; empty cells of a fine grid
-// cost two nil pointers each.
+// the influence list. Both are dense swap-delete slices (nil until first
+// use); empty cells of a fine grid cost two nil slice headers each.
 type Cell struct {
-	objects   map[model.ObjectID]struct{}
-	influence map[model.QueryID]struct{}
+	objects   []model.ObjectID
+	influence []model.QueryID
 }
 
 // Grid is the object index.
@@ -46,6 +52,7 @@ type Grid struct {
 
 	positions []geom.Point // dense object position store, indexed by ObjectID
 	alive     []bool
+	slots     []int32 // intrusive index: object -> slot in its cell's object slice
 
 	count        int   // live objects
 	cellAccesses int64 // complete scans of cell object lists

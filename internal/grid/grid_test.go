@@ -187,9 +187,13 @@ func TestInfluenceLists(t *testing.T) {
 	if g.InfluenceLen(c) != 2 {
 		t.Errorf("InfluenceLen = %d, want 2", g.InfluenceLen(c))
 	}
-	qs := g.InfluenceQueries(c)
+	buf := make([]model.QueryID, 0, 4)
+	qs := g.AppendInfluenceQueries(buf[:0], c)
 	if len(qs) != 2 {
-		t.Errorf("InfluenceQueries len = %d, want 2", len(qs))
+		t.Errorf("AppendInfluenceQueries len = %d, want 2", len(qs))
+	}
+	if got := g.Influence(c); len(got) != 2 {
+		t.Errorf("Influence len = %d, want 2", len(got))
 	}
 	count := 0
 	g.ForEachInfluence(c, func(model.QueryID) { count++ })
@@ -201,8 +205,8 @@ func TestInfluenceLists(t *testing.T) {
 	if g.HasInfluence(c, 7) || g.InfluenceLen(c) != 1 {
 		t.Error("RemoveInfluence failed")
 	}
-	if g.InfluenceQueries(CellIndex(0)) != nil {
-		t.Error("InfluenceQueries on empty cell should be nil")
+	if qs := g.AppendInfluenceQueries(nil, CellIndex(0)); len(qs) != 0 {
+		t.Error("AppendInfluenceQueries on empty cell should append nothing")
 	}
 }
 

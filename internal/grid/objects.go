@@ -22,6 +22,29 @@ func (g *Grid) ensureID(id model.ObjectID) {
 	alive := make([]bool, n)
 	copy(alive, g.alive)
 	g.alive = alive
+	slots := make([]int32, n)
+	copy(slots, g.slots)
+	g.slots = slots
+}
+
+// addObject appends id to cell c's object slice and records its slot in the
+// intrusive index.
+func (g *Grid) addObject(c CellIndex, id model.ObjectID) {
+	cell := &g.cells[c]
+	g.slots[id] = int32(len(cell.objects))
+	cell.objects = append(cell.objects, id)
+}
+
+// removeObject swap-deletes id from cell c's object slice in O(1) via the
+// intrusive slot index, fixing the moved object's slot.
+func (g *Grid) removeObject(c CellIndex, id model.ObjectID) {
+	cell := &g.cells[c]
+	s := g.slots[id]
+	last := len(cell.objects) - 1
+	moved := cell.objects[last]
+	cell.objects[s] = moved
+	g.slots[moved] = s
+	cell.objects = cell.objects[:last]
 }
 
 // Insert adds a new object at p. Inserting an id that is already live is an
@@ -36,11 +59,7 @@ func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
 	}
 	g.alive[id] = true
 	g.positions[id] = p
-	c := &g.cells[g.CellOf(p)]
-	if c.objects == nil {
-		c.objects = make(map[model.ObjectID]struct{})
-	}
-	c.objects[id] = struct{}{}
+	g.addObject(g.CellOf(p), id)
 	g.count++
 	return nil
 }
@@ -51,8 +70,7 @@ func (g *Grid) Delete(id model.ObjectID) error {
 	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
 		return fmt.Errorf("grid: delete of unknown object %d", id)
 	}
-	c := g.CellOf(g.positions[id])
-	delete(g.cells[c].objects, id)
+	g.removeObject(g.CellOf(g.positions[id]), id)
 	g.alive[id] = false
 	g.count--
 	return nil
@@ -68,12 +86,8 @@ func (g *Grid) Move(id model.ObjectID, p geom.Point) (oldCell, newCell CellIndex
 	newCell = g.CellOf(p)
 	g.positions[id] = p
 	if oldCell != newCell {
-		delete(g.cells[oldCell].objects, id)
-		cn := &g.cells[newCell]
-		if cn.objects == nil {
-			cn.objects = make(map[model.ObjectID]struct{})
-		}
-		cn.objects[id] = struct{}{}
+		g.removeObject(oldCell, id)
+		g.addObject(newCell, id)
 	}
 	return oldCell, newCell, nil
 }
@@ -86,6 +100,10 @@ func (g *Grid) Position(id model.ObjectID) (geom.Point, bool) {
 	return g.positions[id], true
 }
 
+// Pos returns the location of id without a liveness check — the fast path
+// for ids just read from a cell's object list, which are live by invariant.
+func (g *Grid) Pos(id model.ObjectID) geom.Point { return g.positions[id] }
+
 // Alive reports whether id is a live object.
 func (g *Grid) Alive(id model.ObjectID) bool {
 	return id >= 0 && int(id) < len(g.alive) && g.alive[id]
@@ -96,14 +114,23 @@ func (g *Grid) Len(c CellIndex) int {
 	return len(g.cells[c].objects)
 }
 
+// CellObjects returns cell c's object list as a borrowed slice and counts
+// one cell access — the unit reported in Figure 6.3b ("a cell visit
+// corresponds to a complete scan over the object list in the cell"). The
+// slice is owned by the grid: callers must not mutate or retain it, and any
+// grid mutation invalidates it. Iterating it allocates nothing.
+func (g *Grid) CellObjects(c CellIndex) []model.ObjectID {
+	g.cellAccesses++
+	return g.cells[c].objects
+}
+
 // ScanObjects invokes fn for every object in cell c and counts one cell
-// access — the unit reported in Figure 6.3b ("a cell visit corresponds to a
-// complete scan over the object list in the cell"). All monitoring methods
-// must read cell contents through this method so access counts compare
-// fairly.
+// access. All monitoring methods must read cell contents through this
+// method or CellObjects so access counts compare fairly. fn must not mutate
+// the cell's object set.
 func (g *Grid) ScanObjects(c CellIndex, fn func(id model.ObjectID, p geom.Point)) {
 	g.cellAccesses++
-	for id := range g.cells[c].objects {
+	for _, id := range g.cells[c].objects {
 		fn(id, g.positions[id])
 	}
 }
@@ -122,25 +149,51 @@ func (g *Grid) ForEachObject(fn func(id model.ObjectID, p geom.Point)) {
 func (g *Grid) CellAccesses() int64 { return g.cellAccesses }
 
 // AddInfluence records query q in the influence list of cell c
-// (paper Figure 3.3b). Adding an existing entry is a no-op.
+// (paper Figure 3.3b). Adding an existing entry is a no-op, checked by a
+// linear scan; callers that can prove q is absent (the CPM engine tracks
+// its influence prefix exactly) should use AddInfluenceUnchecked instead.
 func (g *Grid) AddInfluence(c CellIndex, q model.QueryID) {
 	cell := &g.cells[c]
-	if cell.influence == nil {
-		cell.influence = make(map[model.QueryID]struct{})
+	for _, have := range cell.influence {
+		if have == q {
+			return
+		}
 	}
-	cell.influence[q] = struct{}{}
+	cell.influence = append(cell.influence, q)
 }
 
-// RemoveInfluence removes query q from the influence list of cell c.
-// Removing an absent entry is a no-op.
+// AddInfluenceUnchecked appends q to the influence list of c without the
+// duplicate check — O(1) always, independent of how many queries influence
+// the cell. The caller must guarantee q is not already present: a duplicate
+// entry would make the scans route the same update to a query twice and
+// leave a stale entry behind after removal.
+func (g *Grid) AddInfluenceUnchecked(c CellIndex, q model.QueryID) {
+	cell := &g.cells[c]
+	cell.influence = append(cell.influence, q)
+}
+
+// RemoveInfluence removes query q from the influence list of cell c by
+// swap-delete. Removing an absent entry is a no-op.
 func (g *Grid) RemoveInfluence(c CellIndex, q model.QueryID) {
-	delete(g.cells[c].influence, q)
+	infl := g.cells[c].influence
+	for i, have := range infl {
+		if have == q {
+			last := len(infl) - 1
+			infl[i] = infl[last]
+			g.cells[c].influence = infl[:last]
+			return
+		}
+	}
 }
 
 // HasInfluence reports whether q is in the influence list of c.
 func (g *Grid) HasInfluence(c CellIndex, q model.QueryID) bool {
-	_, ok := g.cells[c].influence[q]
-	return ok
+	for _, have := range g.cells[c].influence {
+		if have == q {
+			return true
+		}
+	}
+	return false
 }
 
 // InfluenceLen returns the size of the influence list of c.
@@ -148,24 +201,29 @@ func (g *Grid) InfluenceLen(c CellIndex) int {
 	return len(g.cells[c].influence)
 }
 
+// Influence returns the influence list of c as a borrowed slice. The slice
+// is owned by the grid: callers must not mutate or retain it, and adding or
+// removing influence entries on c invalidates it. Iterating it allocates
+// nothing — this is the zero-allocation replacement for the map-backed
+// influence iteration on the update-handling hot path.
+func (g *Grid) Influence(c CellIndex) []model.QueryID {
+	return g.cells[c].influence
+}
+
 // ForEachInfluence invokes fn for every query in the influence list of c.
 // fn must not mutate the influence list of c.
 func (g *Grid) ForEachInfluence(c CellIndex, fn func(q model.QueryID)) {
-	for q := range g.cells[c].influence {
+	for _, q := range g.cells[c].influence {
 		fn(q)
 	}
 }
 
-// InfluenceQueries returns the influence list of c as a fresh slice, for
-// callers that must mutate influence lists while iterating.
-func (g *Grid) InfluenceQueries(c CellIndex) []model.QueryID {
-	cell := &g.cells[c]
-	if len(cell.influence) == 0 {
-		return nil
-	}
-	qs := make([]model.QueryID, 0, len(cell.influence))
-	for q := range cell.influence {
-		qs = append(qs, q)
-	}
-	return qs
+// AppendInfluenceQueries appends the influence list of c to buf and returns
+// the extended slice — a stable snapshot for callers that cannot honor the
+// no-mutation contract of the borrowed-slice Influence accessor (the engine
+// itself iterates via Influence; its scans never mutate influence lists).
+// The caller owns buf, so a reused buffer makes the snapshot
+// allocation-free once warm.
+func (g *Grid) AppendInfluenceQueries(buf []model.QueryID, c CellIndex) []model.QueryID {
+	return append(buf, g.cells[c].influence...)
 }

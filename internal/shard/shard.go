@@ -32,11 +32,25 @@ import (
 
 // Monitor is a sharded CPM monitor. Like core.Engine it is not safe for
 // concurrent use by multiple callers: the parallelism is internal to
-// ProcessBatch, which owns all shard goroutines it spawns.
+// ProcessBatch, which owns the worker goroutines.
+//
+// The workers are persistent: the first multi-shard ProcessBatch starts one
+// goroutine per shard, and subsequent cycles feed them batches over
+// per-shard channels, so a steady-state cycle spawns no goroutines and
+// performs zero heap allocations (a per-cycle `go func` closure would
+// allocate once per shard per tick). Close stops the workers; a later
+// ProcessBatch transparently restarts them, so Close is only required to
+// release the goroutines of a monitor that is being discarded.
 type Monitor struct {
 	shards []*core.Engine
 	// perShard reuses the per-cycle query-update routing buffers.
 	perShard [][]model.QueryUpdate
+
+	// feed carries one batch per cycle to each persistent worker; nil until
+	// the first multi-shard ProcessBatch. wg counts outstanding workers
+	// within one cycle.
+	feed []chan model.Batch
+	wg   sync.WaitGroup
 }
 
 // New creates a monitor of n hash-partitioned shards over gridSize×gridSize
@@ -117,12 +131,15 @@ func (m *Monitor) RemoveQuery(id model.QueryID) { m.owner(id).RemoveQuery(id) }
 
 // ProcessBatch runs one processing cycle: the object stream is shared
 // read-only by every shard (each must keep its grid replica exact), query
-// updates are routed to their owning shards, and one goroutine per shard
-// runs the engine's monitoring loop over its partition.
+// updates are routed to their owning shards, and the persistent worker of
+// each shard runs the engine's monitoring loop over its partition.
 func (m *Monitor) ProcessBatch(b model.Batch) {
 	if len(m.shards) == 1 {
 		m.shards[0].ProcessBatch(b)
 		return
+	}
+	if m.feed == nil {
+		m.start()
 	}
 	for i := range m.perShard {
 		m.perShard[i] = m.perShard[i][:0]
@@ -131,15 +148,44 @@ func (m *Monitor) ProcessBatch(b model.Batch) {
 		s := m.shardOf(qu.ID)
 		m.perShard[s] = append(m.perShard[s], qu)
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(m.shards))
-	for i, e := range m.shards {
-		go func(e *core.Engine, queries []model.QueryUpdate) {
-			defer wg.Done()
-			e.ProcessBatch(model.Batch{Objects: b.Objects, Queries: queries})
-		}(e, m.perShard[i])
+	m.wg.Add(len(m.shards))
+	for i, ch := range m.feed {
+		ch <- model.Batch{Objects: b.Objects, Queries: m.perShard[i]}
 	}
-	wg.Wait()
+	m.wg.Wait()
+}
+
+// start launches one persistent worker goroutine per shard. The channel
+// send in ProcessBatch happens-before the worker's engine access, and the
+// worker's wg.Done happens-before wg.Wait returns, so each cycle's shard
+// state is owned by exactly one goroutine at a time.
+func (m *Monitor) start() {
+	m.feed = make([]chan model.Batch, len(m.shards))
+	for i := range m.shards {
+		ch := make(chan model.Batch)
+		m.feed[i] = ch
+		e := m.shards[i]
+		go func() {
+			for b := range ch {
+				e.ProcessBatch(b)
+				m.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close stops the persistent worker goroutines. It is idempotent, and the
+// monitor stays usable: a later ProcessBatch restarts the workers. Closing
+// a monitor that never ran a multi-shard cycle is a no-op. Call it when
+// discarding a monitor with Shards > 1 so its goroutines do not outlive it.
+func (m *Monitor) Close() {
+	if m.feed == nil {
+		return
+	}
+	for _, ch := range m.feed {
+		close(ch)
+	}
+	m.feed = nil
 }
 
 // Result returns the current result of a k-NN query.
