@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke fuzz
 
 all: build test
 
@@ -14,10 +14,40 @@ test:
 	$(GO) test ./...
 
 # Race-sensitive packages: the sharded monitor's fan-out, the conceptual
-# partitioning it traverses, the engine it drives in parallel, and the
-# notify pub/sub layer (incl. the root package's subscriber stress test).
+# partitioning it traverses, the engine it drives in parallel, the notify
+# pub/sub layer (incl. the root package's subscriber stress test), and the
+# network serving layer (wire codec, TCP server, reconnecting client).
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/...
+
+# Host a self-driving CPM monitor on :7845; watch it with
+#   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow
+serve:
+	$(GO) run ./cmd/cpmserver -drive -addr :7845
+
+# Loopback server round trip: a cpmserver hosting an empty monitor, a
+# cpmsim -connect feeding and streaming it over TCP. CI runs this in the
+# test job; it exercises the full binary path the tests mock with
+# in-process listeners.
+serve-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/cpm-smoke-server ./cmd/cpmserver; \
+	$(GO) build -o /tmp/cpm-smoke-sim ./cmd/cpmsim; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	/tmp/cpm-smoke-server -addr 127.0.0.1:17845 & srv=$$!; \
+	sleep 1; \
+	/tmp/cpm-smoke-sim -connect 127.0.0.1:17845 -n 2000 -queries 20 -ts 5 -watch 1; \
+	kill $$srv; wait $$srv 2>/dev/null || true; \
+	/tmp/cpm-smoke-server -addr 127.0.0.1:17846 & srv=$$!; \
+	sleep 1; \
+	/tmp/cpm-smoke-sim -connect 127.0.0.1:17846 -n 2000 -queries 20 -ts 3 -follow -watch 1; \
+	kill $$srv; wait $$srv 2>/dev/null || true; \
+	echo "serve-smoke: ok"
+
+# Short fuzz runs over the wire codec (the seed corpus is checked in).
+fuzz:
+	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=30s ./internal/wire/
 
 # One iteration of every benchmark — keeps benchmark code compiling and
 # running without paying for a full measurement. -benchmem mirrors the CI

@@ -1,0 +1,576 @@
+// Package client is the Go client of the CPM network serving layer: it
+// dials a server (internal/server, hosted by cmd/cpmserver), mirrors the
+// cpm.Monitor API over the wire — Bootstrap, Register*, MoveQuery,
+// RemoveQuery, Tick, Result — and consumes the push-based result-diff
+// stream through Subscribe, surviving connection loss transparently.
+//
+// # Reconnect and resume
+//
+// When the connection drops, the client reconnects with exponential
+// backoff and re-establishes every open subscription, presenting the last
+// event sequence number it saw per query. The server answers with an
+// explicit reset marker (EventGap with Seq 0) followed by one
+// EventSnapshot per query carrying the full current result — terminated
+// queries come back with Kind DiffRemove — and then resumes the live diff
+// stream. A consumer that folds snapshots in as state replacements
+// therefore never silently misses a transition, even across crashes of the
+// link (the paper's monitoring guarantee, extended over the network).
+//
+// Requests issued while the link is down wait for the reconnect (bounded
+// by Options.ReconnectWait). A request whose connection dies mid-flight
+// returns ErrDisconnected without an automatic retry: the client cannot
+// know whether the server applied it, and replaying a Tick would
+// double-apply the batch. Idempotent callers can simply retry themselves.
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use. Events are delivered per
+// subscription, in order, over a buffered channel; a consumer that stops
+// reading eventually backpressures the socket, at which point the
+// server-side policy (DropOldest or CoalesceLatest) sheds events and the
+// stream carries an explicit gap marker instead.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cpm"
+	"cpm/internal/wire"
+)
+
+var (
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrDisconnected is returned by a request whose connection died
+	// mid-flight (the server may or may not have applied it), or that
+	// found no connection within Options.ReconnectWait.
+	ErrDisconnected = errors.New("client: disconnected")
+)
+
+// Options tune a Client. The zero value is ready for use.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// ReconnectWait bounds how long a request waits for a live connection
+	// before failing with ErrDisconnected (default 30s).
+	ReconnectWait time.Duration
+	// Backoff is the initial reconnect delay (default 50ms), doubled per
+	// failed attempt up to MaxBackoff (default 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Buffer is the client-side per-subscription delivery buffer in events
+	// (default 256).
+	Buffer int
+	// SocketReadBuffer, when positive, sets the connection's kernel
+	// receive-buffer size (SetReadBuffer). Shrinking it makes
+	// slow-consumer backpressure reproducible in tests; leave 0 for the
+	// OS default in production.
+	SocketReadBuffer int
+	// Logf, when set, receives reconnect diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.ReconnectWait <= 0 {
+		o.ReconnectWait = 30 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 256
+	}
+}
+
+// call is one in-flight request.
+type call struct {
+	done chan struct{}
+	err  error
+	// Result response (ResultReq only).
+	live bool
+	res  []cpm.Neighbor
+}
+
+// Client is a connection to a CPM server. Create one with Dial.
+type Client struct {
+	addr string
+	opts Options
+
+	mu      sync.Mutex
+	nc      net.Conn      // current connection; nil while down
+	up      chan struct{} // closed when a connection is (re-)established
+	closed  bool
+	nextReq uint64
+	nextSub uint32
+	pending map[uint64]*call
+	subs    map[uint32]*Subscription
+
+	wbuf []byte // reused encode buffer; guarded by mu
+}
+
+// Dial connects to a server. The first connection is established
+// synchronously, so a bad address fails here rather than on first use;
+// afterwards the client heals connection loss by itself.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.defaults()
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		up:      make(chan struct{}),
+		pending: make(map[uint64]*call),
+		subs:    make(map[uint32]*Subscription),
+	}
+	nc, err := c.dialOnce()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.install(nc)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// dialOnce establishes and handshakes one connection.
+func (c *Client) dialOnce() (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		if c.opts.SocketReadBuffer > 0 {
+			tc.SetReadBuffer(c.opts.SocketReadBuffer)
+		}
+	}
+	if _, err := nc.Write(wire.AppendHello(nil)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := wire.NewReader(nc)
+	nc.SetReadDeadline(time.Now().Add(c.opts.DialTimeout))
+	t, payload, err := r.Next()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Time{})
+	if t != wire.FrameWelcome {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake got %v", t)
+	}
+	if err := wire.DecodeWelcome(payload); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return nc, nil
+}
+
+// install adopts a fresh connection (caller holds mu): it becomes current,
+// waiters are released and its read loop starts.
+func (c *Client) install(nc net.Conn) {
+	c.nc = nc
+	close(c.up)
+	go c.readLoop(nc)
+}
+
+// logf logs through Options.Logf when set.
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Close shuts the client down: the connection closes, every subscription's
+// Events channel closes, and every blocked request fails.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nc := c.nc
+	c.nc = nil
+	c.failPendingLocked(ErrClosed)
+	subs := c.subs
+	c.subs = nil
+	c.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	for _, s := range subs {
+		s.shutdown()
+	}
+	return nil
+}
+
+// failPendingLocked fails every in-flight request (caller holds mu).
+func (c *Client) failPendingLocked(err error) {
+	for id, cl := range c.pending {
+		cl.err = err
+		close(cl.done)
+		delete(c.pending, id)
+	}
+}
+
+// connLost reacts to a dead connection: if nc is still current, in-flight
+// requests fail, the up gate rearms and the reconnect loop starts.
+func (c *Client) connLost(nc net.Conn, err error) {
+	nc.Close()
+	c.mu.Lock()
+	if c.closed || c.nc != nc {
+		c.mu.Unlock()
+		return
+	}
+	c.nc = nil
+	c.up = make(chan struct{})
+	c.failPendingLocked(ErrDisconnected)
+	c.mu.Unlock()
+	c.logf("client: connection lost: %v; reconnecting", err)
+	go c.reconnect()
+}
+
+// reconnect dials with exponential backoff until it succeeds (or the
+// client closes), then re-establishes every open subscription with its
+// resume points before releasing waiting requests.
+func (c *Client) reconnect() {
+	delay := c.opts.Backoff
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		nc, err := c.dialOnce()
+		if err != nil {
+			c.logf("client: reconnect failed: %v (retrying in %v)", err, delay)
+			time.Sleep(delay)
+			delay *= 2
+			if delay > c.opts.MaxBackoff {
+				delay = c.opts.MaxBackoff
+			}
+			continue
+		}
+
+		// Re-subscribe before releasing requests: once a waiter's Tick
+		// runs, the resumed streams must already be in place, or its
+		// events would fall into the gap.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return
+		}
+		var frames []byte
+		for id, s := range c.subs {
+			// Only established subscriptions are resumed here; one whose
+			// initial SubscribeWith is still in flight sends its own frame
+			// once the connection is back.
+			if s.established {
+				frames = wire.AppendSubscribe(frames, 0, s.resumeFrame(id))
+			}
+		}
+		c.mu.Unlock()
+		if len(frames) > 0 {
+			if _, err := nc.Write(frames); err != nil {
+				nc.Close()
+				c.logf("client: resubscribe failed: %v", err)
+				continue
+			}
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c.install(nc)
+		c.mu.Unlock()
+		c.logf("client: reconnected to %s", c.addr)
+		return
+	}
+}
+
+// await returns the current connection, waiting up to ReconnectWait for
+// the reconnect loop if the link is down.
+func (c *Client) await() (net.Conn, error) {
+	deadline := time.Now().Add(c.opts.ReconnectWait)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c.nc != nil {
+			nc := c.nc
+			c.mu.Unlock()
+			return nc, nil
+		}
+		up := c.up
+		c.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, ErrDisconnected
+		}
+		select {
+		case <-up:
+		case <-time.After(wait):
+			return nil, ErrDisconnected
+		}
+	}
+}
+
+// roundTrip sends one request frame (built by build with the assigned
+// request id) and waits for its response.
+func (c *Client) roundTrip(build func(dst []byte, reqID uint64) []byte) (*call, error) {
+	nc, err := c.await()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.nc != nc {
+		// The connection turned over while we were acquiring the lock.
+		c.mu.Unlock()
+		return nil, ErrDisconnected
+	}
+	c.nextReq++
+	reqID := c.nextReq
+	cl := &call{done: make(chan struct{})}
+	c.pending[reqID] = cl
+	c.wbuf = build(c.wbuf[:0], reqID)
+	// Write under mu: requests on one connection are serialized, which
+	// keeps frame boundaries intact and request order deterministic.
+	_, werr := nc.Write(c.wbuf)
+	c.mu.Unlock()
+	if werr != nil {
+		c.connLost(nc, werr)
+		return nil, ErrDisconnected
+	}
+	<-cl.done
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	return cl, nil
+}
+
+// ack performs a round trip whose response is a bare ack.
+func (c *Client) ack(build func(dst []byte, reqID uint64) []byte) error {
+	_, err := c.roundTrip(build)
+	return err
+}
+
+// readLoop dispatches inbound frames of one connection until it dies.
+func (c *Client) readLoop(nc net.Conn) {
+	r := wire.NewReader(nc)
+	for {
+		t, payload, err := r.Next()
+		if err != nil {
+			c.connLost(nc, err)
+			return
+		}
+		if err := c.dispatch(t, payload); err != nil {
+			c.connLost(nc, err)
+			return
+		}
+	}
+}
+
+// dispatch routes one inbound frame: responses to their pending call,
+// stream frames to their subscription.
+func (c *Client) dispatch(t wire.FrameType, payload []byte) error {
+	switch t {
+	case wire.FrameAck:
+		reqID, msg, err := wire.DecodeAck(payload)
+		if err != nil {
+			return err
+		}
+		if reqID == 0 {
+			return nil // resubscribe acks carry request id 0: nobody waits
+		}
+		cl := c.takeCall(reqID)
+		if cl == nil {
+			return nil
+		}
+		if msg != "" {
+			cl.err = errors.New(msg)
+		}
+		close(cl.done)
+
+	case wire.FrameResult:
+		reqID, _, live, res, err := wire.DecodeResult(payload)
+		if err != nil {
+			return err
+		}
+		cl := c.takeCall(reqID)
+		if cl == nil {
+			return nil
+		}
+		cl.live = live
+		cl.res = res
+		close(cl.done)
+
+	case wire.FrameEvent:
+		ev, err := wire.DecodeEvent(payload)
+		if err != nil {
+			return err
+		}
+		if s := c.sub(ev.SubID); s != nil {
+			s.deliver(Event{Type: EventDiff, Seq: ev.Seq, ResultDiff: ev.Diff})
+		}
+
+	case wire.FrameSnapshot:
+		snap, err := wire.DecodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		if s := c.sub(snap.SubID); s != nil {
+			d := cpm.ResultDiff{Query: snap.Query, Kind: cpm.DiffUpdate, Result: snap.Result}
+			if !snap.Live {
+				d.Kind = cpm.DiffRemove
+				d.Result = nil
+			}
+			s.deliver(Event{Type: EventSnapshot, ResultDiff: d})
+		}
+
+	case wire.FrameGap:
+		gap, err := wire.DecodeGap(payload)
+		if err != nil {
+			return err
+		}
+		if s := c.sub(gap.SubID); s != nil {
+			var lost uint64
+			if gap.To > gap.From {
+				lost = gap.To - gap.From - 1
+			}
+			s.deliver(Event{Type: EventGap, Seq: gap.To, Lost: lost})
+		}
+
+	default:
+		return fmt.Errorf("client: unexpected frame %v", t)
+	}
+	return nil
+}
+
+// takeCall claims a pending request by id.
+func (c *Client) takeCall(reqID uint64) *call {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.pending[reqID]
+	delete(c.pending, reqID)
+	return cl
+}
+
+// sub looks a subscription up by wire id.
+func (c *Client) sub(id uint32) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subs[id]
+}
+
+// Bootstrap loads the server monitor's initial object population. Call
+// once, before registering queries or ticking.
+func (c *Client) Bootstrap(objs map[cpm.ObjectID]cpm.Point) error {
+	wireObjs := make([]wire.BootstrapObject, 0, len(objs))
+	for id, p := range objs {
+		wireObjs = append(wireObjs, wire.BootstrapObject{ID: id, Pos: p})
+	}
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendBootstrap(dst, reqID, wireObjs)
+	})
+}
+
+// Tick runs one processing cycle on the server with the given update
+// batch. It returns after the cycle completed (and its result diffs were
+// published), so alternating Tick and Result observes the same
+// cycle-consistent states an in-process monitor would.
+func (c *Client) Tick(b cpm.Batch) error {
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendTick(dst, reqID, b)
+	})
+}
+
+// RegisterQuery installs a conventional k-NN query on the server.
+func (c *Client) RegisterQuery(id cpm.QueryID, q cpm.Point, k int) error {
+	return c.register(wire.Register{ID: id, Kind: wire.KindPoint, K: k, Points: []cpm.Point{q}})
+}
+
+// RegisterAggQuery installs an aggregate k-NN query on the server.
+func (c *Client) RegisterAggQuery(id cpm.QueryID, pts []cpm.Point, k int, agg cpm.Agg) error {
+	return c.register(wire.Register{ID: id, Kind: wire.KindAgg, K: k, Agg: agg, Points: pts})
+}
+
+// RegisterConstrainedQuery installs a constrained k-NN query on the
+// server.
+func (c *Client) RegisterConstrainedQuery(id cpm.QueryID, q cpm.Point, k int, region cpm.Rect) error {
+	return c.register(wire.Register{ID: id, Kind: wire.KindConstrained, K: k, Points: []cpm.Point{q}, Region: region})
+}
+
+// RegisterRangeQuery installs a continuous range query on the server.
+func (c *Client) RegisterRangeQuery(id cpm.QueryID, center cpm.Point, radius float64) error {
+	return c.register(wire.Register{ID: id, Kind: wire.KindRange, Points: []cpm.Point{center}, Radius: radius})
+}
+
+func (c *Client) register(r wire.Register) error {
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendRegister(dst, reqID, r)
+	})
+}
+
+// MoveQuery relocates an installed query; pass one point per original
+// query point, like cpm.Monitor.MoveQuery.
+func (c *Client) MoveQuery(id cpm.QueryID, to ...cpm.Point) error {
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendMoveQuery(dst, reqID, id, to)
+	})
+}
+
+// RemoveQuery terminates a query. Unknown ids are a no-op.
+func (c *Client) RemoveQuery(id cpm.QueryID) error {
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendRemoveQuery(dst, reqID, id)
+	})
+}
+
+// Result polls a query's full current result, ordered by (distance, id).
+// Unknown ids yield nil, like cpm.Monitor.Result.
+func (c *Client) Result(id cpm.QueryID) ([]cpm.Neighbor, error) {
+	cl, err := c.roundTrip(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendResultReq(dst, reqID, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl.res, nil
+}
+
+// Redial drops the current connection, letting the automatic reconnect
+// re-establish it — a failover drill: in-flight requests fail with
+// ErrDisconnected and every subscription resumes with its last-seen
+// sequence numbers, exactly as after a real network failure.
+func (c *Client) Redial() {
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// breakConn is Redial under its test-hook name.
+func (c *Client) breakConn() { c.Redial() }

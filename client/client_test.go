@@ -1,0 +1,450 @@
+package client
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/internal/server"
+	"cpm/workload"
+)
+
+// startServer serves a fresh monitor on loopback and returns its address.
+func startServer(t *testing.T, opts cpm.Options, sopts server.Options) (*server.Server, string) {
+	t.Helper()
+	mon := cpm.NewMonitor(opts)
+	s := server.New(mon, sopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		s.Close()
+		mon.Close()
+	})
+	return s, ln.Addr().String()
+}
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.New(
+		workload.CityOptions{Width: 16, Height: 16, Seed: 77},
+		workload.Params{
+			N: 400, NumQueries: 10,
+			ObjectSpeed: workload.Medium, QuerySpeed: workload.Medium,
+			ObjectAgility: 0.5, QueryAgility: 0.4,
+			Seed: 11,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// recv reads one event or fails after a timeout.
+func recv(t *testing.T, sub *Subscription) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.Events():
+		if !ok {
+			t.Fatal("event stream closed unexpectedly")
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for event")
+		panic("unreachable")
+	}
+}
+
+// TestLoopbackEquivalence is the acceptance test of the serving layer: a
+// client driving a remote monitor over TCP — ticks, registrations, a
+// subscription, and a forced-drop reconnect with resume-from-Seq — must
+// observe exactly the result sets and ordered diff stream of an in-process
+// cpm.Monitor fed the identical workload.
+func TestLoopbackEquivalence(t *testing.T) {
+	const k, phase1, phase2 = 4, 8, 6
+
+	_, addr := startServer(t, cpm.Options{GridSize: 16}, server.Options{})
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	local := cpm.NewMonitor(cpm.Options{GridSize: 16})
+	defer local.Close()
+
+	w := testWorkload(t)
+	objs := w.InitialObjects()
+	local.Bootstrap(objs)
+	if err := c.Bootstrap(objs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe both sides at the same logical point — before any
+	// registration — so the event sequence numbers line up exactly.
+	localSub := local.SubscribeWith(cpm.SubscribeOptions{Buffer: 4096})
+	remoteSub, err := c.SubscribeWith(SubscribeOptions{Buffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := w.InitialQueries()
+	for i, q := range queries {
+		if err := local.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := local.RegisterRangeQuery(100, cpm.Point{X: 0.5, Y: 0.5}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterRangeQuery(100, cpm.Point{X: 0.5, Y: 0.5}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	// drainPair reads n events from both streams and compares them.
+	drainPair := func(n int, stage string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			lev := <-localSub.Events()
+			rev := recv(t, remoteSub)
+			if rev.Type != EventDiff {
+				t.Fatalf("%s event %d: remote type %v, want diff", stage, i, rev.Type)
+			}
+			if rev.Seq != lev.Seq {
+				t.Fatalf("%s event %d: seq %d != local %d", stage, i, rev.Seq, lev.Seq)
+			}
+			if !reflect.DeepEqual(rev.ResultDiff, lev.ResultDiff) {
+				t.Fatalf("%s event %d:\nremote %+v\nlocal  %+v", stage, i, rev.ResultDiff, lev.ResultDiff)
+			}
+		}
+	}
+	drainPair(len(queries)+1, "install")
+
+	compareResults := func(stage string) {
+		t.Helper()
+		for q := 0; q <= len(queries); q++ {
+			id := cpm.QueryID(q)
+			if q == len(queries) {
+				id = 100
+			}
+			want := local.Result(id)
+			got, err := c.Result(id)
+			if err != nil {
+				t.Fatalf("%s q%d: %v", stage, id, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s q%d: remote %v, local %v", stage, id, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s q%d: remote %v, local %v", stage, id, got, want)
+				}
+			}
+		}
+	}
+
+	// Phase 1: identical ticks, identical streams and results every cycle.
+	for cycle := 0; cycle < phase1; cycle++ {
+		b := w.Advance()
+		local.Tick(b)
+		if err := c.Tick(b); err != nil {
+			t.Fatal(err)
+		}
+		drainPair(len(local.ChangedQueries()), "phase1")
+		compareResults("phase1")
+	}
+
+	// Forced drop: kill the TCP connection under the client. The client
+	// reconnects and re-subscribes with its last-seen Seq per query; the
+	// stream must carry an explicit reset gap, then one snapshot per
+	// installed query matching the exact server state at resubscription,
+	// then the live diff stream again.
+	c.breakConn()
+	pre := local.Snapshot() // the state the re-sync snapshots must show
+	b := w.Advance()
+	local.Tick(b)
+	if err := c.Tick(b); err != nil { // blocks until the reconnect healed the link
+		t.Fatal(err)
+	}
+
+	gap := recv(t, remoteSub)
+	if gap.Type != EventGap || gap.Seq != 0 {
+		t.Fatalf("after reconnect got %+v, want a reset gap (Seq 0)", gap)
+	}
+	if remoteSub.Gaps() != 1 {
+		t.Fatalf("Gaps() = %d after one reconnect", remoteSub.Gaps())
+	}
+	for _, want := range pre {
+		ev := recv(t, remoteSub)
+		if ev.Type != EventSnapshot {
+			t.Fatalf("re-sync: got %+v, want snapshot of q%d", ev, want.Query)
+		}
+		if ev.Query != want.Query {
+			t.Fatalf("re-sync: snapshot of q%d, want q%d", ev.Query, want.Query)
+		}
+		if len(ev.Result) != len(want.Result) {
+			t.Fatalf("re-sync q%d: %v, want %v", ev.Query, ev.Result, want.Result)
+		}
+		for i := range want.Result {
+			if ev.Result[i] != want.Result[i] {
+				t.Fatalf("re-sync q%d: %v, want %v", ev.Query, ev.Result, want.Result)
+			}
+		}
+	}
+
+	// After the re-sync, the live streams run in lockstep again — the
+	// server-side sequence numbering restarted at 1, so compare content
+	// and contiguity rather than absolute Seq.
+	var remoteSeq uint64
+	drainResumed := func(n int, stage string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			lev := <-localSub.Events()
+			rev := recv(t, remoteSub)
+			if rev.Type != EventDiff {
+				t.Fatalf("%s event %d: remote type %v, want diff", stage, i, rev.Type)
+			}
+			if rev.Seq != remoteSeq+1 {
+				t.Fatalf("%s event %d: seq %d, want %d (no silent loss)", stage, i, rev.Seq, remoteSeq+1)
+			}
+			remoteSeq = rev.Seq
+			if !reflect.DeepEqual(rev.ResultDiff, lev.ResultDiff) {
+				t.Fatalf("%s event %d:\nremote %+v\nlocal  %+v", stage, i, rev.ResultDiff, lev.ResultDiff)
+			}
+		}
+	}
+	drainResumed(len(local.ChangedQueries()), "reconnect-cycle")
+	compareResults("reconnect-cycle")
+
+	// Phase 2: more identical cycles, plus churn (a termination the
+	// subscriber must see as a DiffRemove on both sides).
+	for cycle := 0; cycle < phase2; cycle++ {
+		b := w.Advance()
+		local.Tick(b)
+		if err := c.Tick(b); err != nil {
+			t.Fatal(err)
+		}
+		drainResumed(len(local.ChangedQueries()), "phase2")
+		compareResults("phase2")
+		if cycle == 2 {
+			local.RemoveQuery(3)
+			if err := c.RemoveQuery(3); err != nil {
+				t.Fatal(err)
+			}
+			drainResumed(1, "remove")
+		}
+	}
+
+	if localSub.Dropped() != 0 {
+		t.Fatalf("local subscription dropped %d events despite ample buffer", localSub.Dropped())
+	}
+	if remoteSub.Gaps() != 1 {
+		t.Fatalf("Gaps() = %d at end, want exactly the reconnect re-sync", remoteSub.Gaps())
+	}
+
+	// Shutdown: closing the client closes the stream.
+	if err := remoteSub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-remoteSub.Events(); ok {
+		t.Fatal("remote stream still open after Close")
+	}
+}
+
+// TestFilteredResumeNoLeak pins the resume re-sync of a filtered
+// subscription: a subscriber to one query that reconnects before ever
+// seeing an event must get the reset marker and a snapshot of exactly its
+// own query — never another query's data (regression test for the
+// empty-resume reset being mistaken for a resume point of query id 0).
+func TestFilteredResumeNoLeak(t *testing.T) {
+	_, addr := startServer(t, cpm.Options{GridSize: 16}, server.Options{})
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(map[cpm.ObjectID]cpm.Point{
+		1: {X: 0.1, Y: 0.1}, 2: {X: 0.2, Y: 0.2}, 3: {X: 0.8, Y: 0.8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Query 0 exists and is none of the subscriber's business.
+	if err := c.RegisterQuery(0, cpm.Point{X: 0.15, Y: 0.15}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(5, cpm.Point{X: 0.8, Y: 0.8}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.breakConn()
+	// Both results change; only q5's diff belongs on this stream.
+	if err := c.Tick(cpm.Batch{Objects: []cpm.Update{
+		cpm.MoveUpdate(2, cpm.Point{X: 0.2, Y: 0.2}, cpm.Point{X: 0.14, Y: 0.14}),
+		cpm.MoveUpdate(3, cpm.Point{X: 0.8, Y: 0.8}, cpm.Point{X: 0.6, Y: 0.6}),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ev := recv(t, sub); ev.Type != EventGap || ev.Seq != 0 {
+		t.Fatalf("first post-reconnect event %+v, want reset gap", ev)
+	}
+	snap := recv(t, sub)
+	if snap.Type != EventSnapshot || snap.Query != 5 {
+		t.Fatalf("re-sync snapshot %+v, want query 5 only", snap)
+	}
+	diff := recv(t, sub)
+	if diff.Type != EventDiff || diff.Query != 5 {
+		t.Fatalf("live event %+v, want the q5 diff", diff)
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unexpected extra event %+v on a filtered stream", ev)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestSlowConsumerGapResync is the forced-drop satellite: with tiny
+// buffers at every stage — server-side hub buffer, writer queue, kernel
+// socket buffers, client delivery buffer — a stalled subscriber loses
+// events to the DropOldest policy while a second connection keeps ticking.
+// The stream must announce every loss with an explicit gap marker (never a
+// silent seq jump), and a reconnect with the subscriber's last-seen Seq
+// must re-sync it, via snapshots, to exactly the polled state.
+func TestSlowConsumerGapResync(t *testing.T) {
+	const k, stallCycles = 4, 50
+	_, addr := startServer(t, cpm.Options{GridSize: 16},
+		server.Options{WriteQueue: 1, SocketWriteBuffer: 1})
+
+	// The ingest connection drives the monitor; the watcher subscribes.
+	ingest, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingest.Close()
+	watcher, err := Dial(addr, Options{Buffer: 1, SocketReadBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+
+	w := testWorkload(t)
+	if err := ingest.Bootstrap(w.InitialObjects()); err != nil {
+		t.Fatal(err)
+	}
+	queries := w.InitialQueries()
+	for i, q := range queries {
+		if err := ingest.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := watcher.SubscribeWith(SubscribeOptions{Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase A: the watcher stalls while busy cycles run. Hub buffer 2 +
+	// writer queue 1 + minimal socket buffers cannot hold 50 cycles of
+	// events, so the hub's DropOldest policy must shed.
+	for cycle := 0; cycle < stallCycles; cycle++ {
+		if err := ingest.Tick(w.Advance()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase B: drain. Every seq jump must be announced by a gap marker.
+	state := make(map[cpm.QueryID][]cpm.Neighbor)
+	var last uint64
+	gapOpen, gaps := false, 0
+	apply := func(ev Event) {
+		switch ev.Type {
+		case EventGap:
+			gapOpen = true
+			gaps++
+		case EventDiff:
+			if ev.Seq != last+1 && !gapOpen {
+				t.Fatalf("silent seq jump %d -> %d", last, ev.Seq)
+			}
+			last = ev.Seq
+			gapOpen = false
+			if ev.Kind == cpm.DiffRemove {
+				delete(state, ev.Query)
+			} else {
+				state[ev.Query] = ev.Result
+			}
+		case EventSnapshot:
+			if ev.Kind == cpm.DiffRemove {
+				delete(state, ev.Query)
+			} else {
+				state[ev.Query] = ev.Result
+			}
+		}
+	}
+	for drained := false; !drained; {
+		select {
+		case ev := <-sub.Events():
+			apply(ev)
+		case <-time.After(500 * time.Millisecond):
+			drained = true
+		}
+	}
+	if gaps == 0 {
+		t.Fatalf("no gap markers despite tiny buffers over %d busy cycles", stallCycles)
+	}
+
+	// Phase C: reconnect with last-seen Seq. The re-sync must open with a
+	// reset gap and then snapshot every query to current state.
+	preGaps := sub.Gaps()
+	watcher.breakConn()
+	ev := recv(t, sub)
+	for ev.Type != EventGap || ev.Seq != 0 { // drops may still be in flight ahead of the reset
+		apply(ev)
+		ev = recv(t, sub)
+	}
+	apply(ev)
+	if sub.Gaps() <= preGaps {
+		t.Fatal("reconnect did not count as a gap")
+	}
+	for range queries {
+		ev := recv(t, sub)
+		if ev.Type != EventSnapshot {
+			t.Fatalf("re-sync delivered %+v, want snapshot", ev)
+		}
+		apply(ev)
+	}
+
+	// Snapshot+stream now equals polling, for every query.
+	for i := range queries {
+		id := cpm.QueryID(i)
+		want, err := ingest.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := state[id]
+		if !ok {
+			t.Fatalf("q%d never delivered", id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q%d replay %v, polled %v", id, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("q%d replay %v, polled %v", id, got, want)
+			}
+		}
+	}
+}

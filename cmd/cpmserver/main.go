@@ -1,0 +1,140 @@
+// Command cpmserver hosts a CPM monitor behind the TCP serving layer
+// (internal/server): remote clients — the client package, cpmsim -connect,
+// or anything speaking internal/wire — feed it object streams, register
+// continuous queries, poll results and subscribe to pushed result diffs
+// with reconnect/resume semantics.
+//
+// Two modes:
+//
+//	cpmserver -addr :7845
+//	    An empty monitor. Clients bring everything: bootstrap, queries,
+//	    update ticks (remote ingest).
+//
+//	cpmserver -addr :7845 -drive -n 20000 -queries 500 -interval 250ms
+//	    Self-driving: the server generates a Brinkhoff-style network
+//	    workload, registers the queries itself and ticks continuously at
+//	    the given interval. Clients subscribe (and may register further
+//	    queries of their own) — a one-process demo of the push pipeline.
+//
+// The monitor can run sharded (-shards) exactly like the embedded library.
+// Stop with SIGINT/SIGTERM; connections drain and the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpm"
+	"cpm/internal/bench"
+	"cpm/internal/generator"
+	"cpm/internal/model"
+	"cpm/internal/network"
+	"cpm/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7845", "listen address")
+		gridSize = flag.Int("grid", 128, "grid cells per dimension")
+		shards   = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
+		verbose  = flag.Bool("v", false, "log connection events")
+
+		drive    = flag.Bool("drive", false, "self-drive a generated workload instead of waiting for remote ingest")
+		n        = flag.Int("n", 10000, "object population (-drive)")
+		queries  = flag.Int("queries", 100, "number of k-NN queries (-drive)")
+		k        = flag.Int("k", 8, "neighbors per query (-drive)")
+		ts       = flag.Int("ts", 0, "timestamps to simulate, 0 = run until stopped (-drive)")
+		interval = flag.Duration("interval", 250*time.Millisecond, "delay between cycles (-drive)")
+		seed     = flag.Int64("seed", 1, "workload seed (-drive)")
+	)
+	flag.Parse()
+
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "cpmserver: -shards must be non-negative")
+		os.Exit(2)
+	}
+	mon := cpm.NewMonitor(cpm.Options{GridSize: *gridSize, Shards: bench.ResolveShards(*shards)})
+	opts := server.Options{}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(mon, opts)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	if *drive {
+		go driveWorkload(srv, *n, *queries, *k, *ts, *seed, *interval, quit, done)
+	} else {
+		close(done)
+	}
+
+	go func() {
+		<-stop
+		log.Printf("cpmserver: shutting down")
+		close(quit)
+		srv.Close()
+	}()
+
+	log.Printf("cpmserver: serving CPM monitor (grid %d, shards %d) on %s", *gridSize, bench.ResolveShards(*shards), *addr)
+	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
+		log.Fatalf("cpmserver: %v", err)
+	}
+	<-done
+	mon.Close()
+}
+
+// driveWorkload bootstraps a generated workload into the served monitor
+// and ticks it forever (or for ts cycles), sharing the monitor with the
+// network via the server's lock.
+func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interval time.Duration, quit <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	net, err := network.Generate(network.GenOptions{Width: 32, Height: 32, Seed: seed})
+	if err != nil {
+		log.Fatalf("cpmserver: %v", err)
+	}
+	w, err := generator.New(net, generator.Params{
+		N: n, NumQueries: queries,
+		ObjectSpeed: generator.Medium, QuerySpeed: generator.Medium,
+		ObjectAgility: 0.5, QueryAgility: 0.3,
+		Seed: seed + 1,
+	})
+	if err != nil {
+		log.Fatalf("cpmserver: %v", err)
+	}
+	srv.Locked(func(m *cpm.Monitor) {
+		m.Bootstrap(w.InitialObjects())
+		for i, q := range w.InitialQueries() {
+			if err := m.RegisterQuery(model.QueryID(i), q, k); err != nil {
+				log.Fatalf("cpmserver: register q%d: %v", i, err)
+			}
+		}
+	})
+	log.Printf("cpmserver: driving %d objects, %d queries (k=%d), one cycle per %v", n, queries, k, interval)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for cycle := 1; ts == 0 || cycle <= ts; cycle++ {
+		select {
+		case <-ticker.C:
+		case <-quit:
+			return
+		}
+		b := w.Advance()
+		var changed int
+		srv.Locked(func(m *cpm.Monitor) {
+			m.Tick(b)
+			changed = len(m.ChangedQueries())
+		})
+		if cycle%20 == 0 {
+			log.Printf("cpmserver: cycle %d: %d updates, %d results changed", cycle, len(b.Objects), changed)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	cpmsim -method CPM -n 5000 -queries 50 -k 8 -ts 30 -watch 3
 //	cpmsim -method CPM -shards 4 -n 20000 -queries 500
 //	cpmsim -follow -shards 4 -n 20000 -queries 500
+//	cpmsim -connect 127.0.0.1:7845 -n 5000 -queries 50 -ts 30
+//	cpmsim -connect 127.0.0.1:7845 -follow -ts 30
 //
 // -watch selects how many queries get their results printed each cycle.
 // -shards > 1 runs the CPM method as a sharded parallel monitor (results
@@ -16,6 +18,13 @@
 // result-diff stream and prints, per cycle, the pushed events — entered /
 // exited / re-ranked neighbors per changed query — instead of re-reading
 // results (CPM only).
+//
+// -connect drives a remote monitor instead of an in-process one: the
+// simulation dials a cpmserver, bootstraps the generated population over
+// the wire, registers its queries remotely and ticks the update stream
+// across the socket (remote ingest). Polling and -follow both work; the
+// streaming mode consumes the server's pushed diff events, including
+// reconnect/resume re-syncs if the link drops mid-run.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"cpm"
+	"cpm/client"
 	"cpm/internal/bench"
 	"cpm/internal/generator"
 	"cpm/internal/model"
@@ -47,6 +57,7 @@ func main() {
 		watch      = flag.Int("watch", 2, "queries whose results are printed each cycle")
 		shards     = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
 		follow     = flag.Bool("follow", false, "stream pushed result diffs instead of polling (CPM only)")
+		connect    = flag.String("connect", "", "drive a remote cpmserver at this address instead of an in-process monitor")
 	)
 	flag.Parse()
 
@@ -55,6 +66,14 @@ func main() {
 		os.Exit(2)
 	}
 	nShards := bench.ResolveShards(*shards)
+	if *connect != "" {
+		if *methodName != "CPM" {
+			fmt.Fprintf(os.Stderr, "cpmsim: -connect drives a remote CPM monitor; -method does not apply\n")
+			os.Exit(2)
+		}
+		runRemote(*connect, *n, *queries, *k, *ts, *seed, *speed, *fobj, *fqry, *watch, *follow)
+		return
+	}
 	if *follow {
 		if *methodName != "CPM" {
 			fmt.Fprintf(os.Stderr, "cpmsim: -follow applies to the CPM method only\n")
@@ -205,7 +224,7 @@ func runFollow(n, queries, k, gridSize, ts int, seed int64, speed string, fobj, 
 			exited += len(ev.Exited)
 			reranked += len(ev.Reranked)
 			if len(details) < watch {
-				details = append(details, fmt.Sprintf("           q%d %s", ev.Query, formatEvent(ev)))
+				details = append(details, fmt.Sprintf("           q%d %s", ev.Query, formatEvent(ev.ResultDiff)))
 			}
 		}
 		fmt.Printf("cycle %3d: %4d events pushed (+%d −%d ~%d) for %d object updates, %8v\n",
@@ -222,8 +241,110 @@ func runFollow(n, queries, k, gridSize, ts int, seed int64, speed string, fobj, 
 		total.Round(time.Microsecond), (total / time.Duration(ts)).Round(time.Microsecond), sub.Dropped())
 }
 
+// runRemote is the -connect mode: the identical simulation, but every
+// operation — bootstrap, registration, tick, result poll, subscription —
+// crosses a TCP socket to a cpmserver.
+func runRemote(addr string, n, queries, k, ts int, seed int64, speed string, fobj, fqry float64, watch int, follow bool) {
+	net, w := makeWorkload(n, queries, seed, speed, fobj, fqry)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	var sub *client.Subscription
+	if follow {
+		sub, err = c.SubscribeWith(client.SubscribeOptions{Buffer: 2*queries + 16})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if err := c.Bootstrap(w.InitialObjects()); err != nil {
+		fatal(err)
+	}
+	for i, q := range w.InitialQueries() {
+		if err := c.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			fatal(err)
+		}
+	}
+	if follow {
+		for i := 0; i < queries; i++ { // the registrations' install events
+			<-sub.Events()
+		}
+	}
+	fmt.Printf("CPM remote (%s): %d objects, %d queries (k=%d) on a %d-node road network; initial load %v\n",
+		addr, n, queries, k, net.NumNodes(), time.Since(start).Round(time.Microsecond))
+
+	if watch > queries {
+		watch = queries
+	}
+	var total time.Duration
+	for cycle := 1; cycle <= ts; cycle++ {
+		b := w.Advance()
+		t0 := time.Now()
+		if err := c.Tick(b); err != nil {
+			fatal(err)
+		}
+		d := time.Since(t0)
+		total += d
+
+		if follow {
+			// The remote side does not expose the changed-query count, so
+			// drain pushed events until the stream goes briefly quiet.
+			pushed, entered, exited, reranked, resyncs := 0, 0, 0, 0, 0
+			details := make([]string, 0, watch)
+		drain:
+			for {
+				select {
+				case ev := <-sub.Events():
+					switch ev.Type {
+					case client.EventDiff:
+						pushed++
+						entered += len(ev.Entered)
+						exited += len(ev.Exited)
+						reranked += len(ev.Reranked)
+						if len(details) < watch {
+							details = append(details, fmt.Sprintf("           q%d %s", ev.Query, formatEvent(ev.ResultDiff)))
+						}
+					case client.EventSnapshot, client.EventGap:
+						resyncs++
+					}
+				case <-time.After(150 * time.Millisecond):
+					break drain
+				}
+			}
+			note := ""
+			if resyncs > 0 {
+				note = fmt.Sprintf(" (%d re-sync frames)", resyncs)
+			}
+			fmt.Printf("cycle %3d: %4d events pushed (+%d −%d ~%d) for %d object updates, %8v rtt%s\n",
+				cycle, pushed, entered, exited, reranked, len(b.Objects), d.Round(time.Microsecond), note)
+			for _, line := range details {
+				fmt.Println(line)
+			}
+		} else {
+			fmt.Printf("cycle %3d: %5d object updates, %4d query updates, %8v rtt\n",
+				cycle, len(b.Objects), len(b.Queries), d.Round(time.Microsecond))
+			for i := 0; i < watch; i++ {
+				res, err := c.Result(cpm.QueryID(i))
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("           q%d -> %s\n", i, formatResult(res))
+			}
+		}
+	}
+	if follow && sub.Gaps() > 0 {
+		fmt.Printf("\n%d gap markers (drops or reconnects) were announced on the stream\n", sub.Gaps())
+	}
+	fmt.Printf("\ntotal round-trip %v (%v per cycle)\n", total.Round(time.Microsecond),
+		(total / time.Duration(ts)).Round(time.Microsecond))
+}
+
 // formatEvent renders one pushed diff like "+[12@0.031] −[7] ~1 → 8@0.031 40@0.044 …".
-func formatEvent(ev cpm.ResultEvent) string {
+func formatEvent(ev cpm.ResultDiff) string {
 	if ev.Kind == cpm.DiffRemove {
 		return "terminated"
 	}

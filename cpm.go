@@ -210,6 +210,8 @@ type backend interface {
 	ObjectPosition(id ObjectID) (Point, bool)
 	ObjectCount() int
 	ChangedQueries() []QueryID
+	QueryIDs() []QueryID
+	HasQuery(id QueryID) bool
 	InvalidUpdates() int64
 	MemoryFootprint() int64
 	EnableDiffs(on bool)
@@ -236,6 +238,9 @@ type Monitor struct {
 	// hub delivers result diffs to subscribers; nil until the first
 	// Subscribe call, so unsubscribed monitors pay nothing for streaming.
 	hub *notify.Hub
+	// closed is set by Close: later Subscribe calls get an already-closed
+	// subscription instead of racing the draining hub.
+	closed bool
 }
 
 // NewMonitor creates a CPM monitor: a single engine, or — with
@@ -359,6 +364,39 @@ func (m *Monitor) Result(id QueryID) []Neighbor {
 // neighbor, +Inf while fewer than k objects match.
 func (m *Monitor) BestDist(id QueryID) float64 { return m.e.BestDist(id) }
 
+// QuerySnapshot pairs a query id with its full current result, as captured
+// by Monitor.Snapshot.
+type QuerySnapshot struct {
+	// Query is the snapshotted query.
+	Query QueryID
+	// Live reports whether the query is currently installed. Snapshotting
+	// an unknown (for example, meanwhile-terminated) id yields Live false
+	// and a nil Result, so re-syncing consumers learn about terminations
+	// they missed.
+	Live bool
+	// Result is the query's full current result, ordered by (distance,
+	// id). The caller owns the slice.
+	Result []Neighbor
+}
+
+// Snapshot captures the current full result of each given query — of every
+// installed query, in ascending id order, when called with no ids — as one
+// consistent set: no processing cycle runs between the individual reads.
+// It is the re-sync primitive of the network serving layer: a reconnecting
+// subscriber receives a Snapshot of its queries and resumes the live diff
+// stream from there (see the client package), but it is equally useful for
+// any consumer that needs a multi-query view at one logical instant.
+func (m *Monitor) Snapshot(ids ...QueryID) []QuerySnapshot {
+	if len(ids) == 0 {
+		ids = m.e.QueryIDs()
+	}
+	out := make([]QuerySnapshot, len(ids))
+	for i, id := range ids {
+		out[i] = QuerySnapshot{Query: id, Live: m.e.HasQuery(id), Result: m.Result(id)}
+	}
+	return out
+}
+
 // ObjectPosition returns the current position of a live object.
 func (m *Monitor) ObjectPosition(id ObjectID) (Point, bool) {
 	return m.e.ObjectPosition(id)
@@ -399,6 +437,11 @@ func (m *Monitor) SubscribeAll() *Subscription { return m.SubscribeWith(Subscrib
 // SubscribeWith is Subscribe with explicit buffering and slow-consumer
 // policy.
 func (m *Monitor) SubscribeWith(opts SubscribeOptions, ids ...QueryID) *Subscription {
+	if m.closed {
+		// After Close the hub is draining (or gone): hand out an already-
+		// closed subscription instead of racing it with a fresh hub.
+		return notify.Closed()
+	}
 	if m.hub == nil {
 		m.hub = notify.NewHub()
 		m.e.EnableDiffs(true)
@@ -409,10 +452,13 @@ func (m *Monitor) SubscribeWith(opts SubscribeOptions, ids ...QueryID) *Subscrip
 // Close releases the monitor's background resources: streaming delivery
 // shuts down (every subscription's buffered events drain and its Events
 // channel closes, and diff collection stops), and a sharded monitor's
-// persistent worker goroutines stop. The monitor itself stays usable —
-// polling Result and ChangedQueries continues to work, a later Subscribe
-// starts a fresh hub, and a later Tick restarts the shard workers.
+// persistent worker goroutines stop. The monitor itself stays usable for
+// polling — Result and ChangedQueries continue to work, and a later Tick
+// restarts the shard workers — but streaming is over for good: a Subscribe
+// after Close returns an already-closed subscription (its Events channel
+// is closed) rather than racing the draining hub.
 func (m *Monitor) Close() {
+	m.closed = true
 	if c, ok := m.e.(interface{ Close() }); ok {
 		c.Close()
 	}

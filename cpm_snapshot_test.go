@@ -1,0 +1,131 @@
+package cpm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSnapshot exercises the multi-query snapshot helper: explicit ids,
+// the no-ids "all installed queries" form, and unknown ids.
+func TestSnapshot(t *testing.T) {
+	m := NewMonitor(Options{GridSize: 16})
+	m.Bootstrap(map[ObjectID]Point{
+		1: {X: 0.10, Y: 0.10},
+		2: {X: 0.20, Y: 0.20},
+		3: {X: 0.80, Y: 0.80},
+	})
+	if err := m.RegisterQuery(7, Point{X: 0.15, Y: 0.15}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterRangeQuery(9, Point{X: 0.82, Y: 0.82}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	all := m.Snapshot()
+	if len(all) != 2 || all[0].Query != 7 || all[1].Query != 9 {
+		t.Fatalf("Snapshot() = %+v, want queries [7 9]", all)
+	}
+	for _, s := range all {
+		if !s.Live {
+			t.Fatalf("q%d not live in snapshot", s.Query)
+		}
+		if !reflect.DeepEqual(s.Result, m.Result(s.Query)) {
+			t.Fatalf("q%d snapshot %v != polled %v", s.Query, s.Result, m.Result(s.Query))
+		}
+	}
+	if len(all[0].Result) != 2 || all[0].Result[0].ID != 1 {
+		t.Fatalf("q7 snapshot result = %v", all[0].Result)
+	}
+
+	some := m.Snapshot(9, 42, 7)
+	if len(some) != 3 {
+		t.Fatalf("Snapshot(9, 42, 7) has %d entries", len(some))
+	}
+	if some[0].Query != 9 || !some[0].Live {
+		t.Fatalf("explicit snapshot order/liveness wrong: %+v", some)
+	}
+	if some[1].Query != 42 || some[1].Live || some[1].Result != nil {
+		t.Fatalf("unknown query snapshot = %+v, want dead and nil", some[1])
+	}
+
+	m.RemoveQuery(7)
+	if s := m.Snapshot(7); s[0].Live || s[0].Result != nil {
+		t.Fatalf("terminated query snapshot = %+v, want dead and nil", s[0])
+	}
+	if all := m.Snapshot(); len(all) != 1 || all[0].Query != 9 {
+		t.Fatalf("Snapshot() after removal = %+v", all)
+	}
+}
+
+// TestSnapshotSharded pins that the sharded monitor's snapshot matches the
+// single engine's: same ids, same order, same results.
+func TestSnapshotSharded(t *testing.T) {
+	w := streamWorkload(t)
+	single := NewMonitor(Options{GridSize: 16})
+	sharded := NewMonitor(Options{GridSize: 16, Shards: 4})
+	defer sharded.Close()
+	objs := w.InitialObjects()
+	single.Bootstrap(objs)
+	sharded.Bootstrap(objs)
+	for i, q := range w.InitialQueries() {
+		for _, m := range []*Monitor{single, sharded} {
+			if err := m.RegisterQuery(QueryID(i), q, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for cycle := 0; cycle < 5; cycle++ {
+		b := w.Advance()
+		single.Tick(b)
+		sharded.Tick(b)
+	}
+	a, b := single.Snapshot(), sharded.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots diverge:\nsingle:  %+v\nsharded: %+v", a, b)
+	}
+}
+
+// TestSubscribeAfterClose is the regression test for the post-Close guard:
+// a Subscribe after Close must return an already-closed subscription — no
+// fresh hub, no events, no race with the draining one.
+func TestSubscribeAfterClose(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		m := NewMonitor(Options{GridSize: 16, Shards: shards})
+		m.Bootstrap(map[ObjectID]Point{1: {X: 0.5, Y: 0.5}})
+		live := m.Subscribe()
+		if err := m.RegisterQuery(1, Point{X: 0.5, Y: 0.5}, 1); err != nil {
+			t.Fatal(err)
+		}
+		m.Close()
+
+		sub := m.Subscribe(1)
+		select {
+		case _, ok := <-sub.Events():
+			if ok {
+				t.Fatalf("shards=%d: event delivered on a post-Close subscription", shards)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("shards=%d: post-Close subscription not closed", shards)
+		}
+		sub.Close() // must be a safe no-op
+		if sub.Dropped() != 0 {
+			t.Fatalf("shards=%d: post-Close subscription dropped %d", shards, sub.Dropped())
+		}
+
+		// Mutations after Close must not publish to the dead subscription,
+		// and polling must keep working.
+		m.Tick(Batch{Objects: []Update{MoveUpdate(1, Point{X: 0.5, Y: 0.5}, Point{X: 0.6, Y: 0.6})}})
+		if res := m.Result(1); len(res) != 1 || res[0].ID != 1 {
+			t.Fatalf("shards=%d: polling broken after Close: %v", shards, res)
+		}
+		// The pre-Close subscription drains (install event) and closes.
+		n := 0
+		for range live.Events() {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("shards=%d: pre-Close subscription drained %d events, want 1", shards, n)
+		}
+	}
+}

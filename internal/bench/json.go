@@ -79,6 +79,14 @@ func RunReport(o Options, methods []Method) (Report, error) {
 			Timestamps:   meas.Timestamps,
 		})
 	}
+	// The serving layer's hot path rides along as a pseudo-method, so the
+	// trajectory gate watches the wire encoder like any monitor: its diff
+	// stream is the one a CPM run over this very workload produces.
+	wireRes, err := wireEncodeResult(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Methods = append(rep.Methods, wireRes)
 	return rep, nil
 }
 

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"cpm/internal/conc"
 	"cpm/internal/geom"
@@ -278,13 +279,27 @@ func (e *Engine) BestDist(id model.QueryID) float64 {
 	return qu.best.kthDist()
 }
 
-// QueryIDs returns the ids of all installed queries.
+// QueryIDs returns the ids of all installed queries — k-NN (conventional,
+// aggregate, constrained) and range alike — in ascending order.
 func (e *Engine) QueryIDs() []model.QueryID {
-	ids := make([]model.QueryID, 0, len(e.queries))
+	ids := make([]model.QueryID, 0, len(e.queries)+len(e.ranges))
 	for id := range e.queries {
 		ids = append(ids, id)
 	}
+	for id := range e.ranges {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	return ids
+}
+
+// HasQuery reports whether id names an installed query of either kind.
+func (e *Engine) HasQuery(id model.QueryID) bool {
+	if _, ok := e.queries[id]; ok {
+		return true
+	}
+	_, ok := e.ranges[id]
+	return ok
 }
 
 // Stats implements model.Monitor. Cell accesses come from the shared grid

@@ -121,6 +121,24 @@ func (h *Hub) Subscribe(opts Options, ids ...model.QueryID) *Subscription {
 	return s
 }
 
+// Closed returns a subscription that is already closed: its Events channel
+// is closed, it accepts no events and Close is a no-op. Monitors hand one
+// out when Subscribe is called after Close, so late subscribers observe a
+// cleanly terminated stream instead of racing the draining hub.
+func Closed() *Subscription {
+	s := &Subscription{
+		kick:   make(chan struct{}, 1),
+		fin:    make(chan struct{}),
+		done:   make(chan struct{}),
+		out:    make(chan Event),
+		closed: true,
+	}
+	close(s.out)
+	s.finOnce.Do(func() { s.finishing = true; close(s.fin) })
+	s.doneOnce.Do(func() { close(s.done) })
+	return s
+}
+
 // SubscriberCount returns the number of open subscriptions.
 func (h *Hub) SubscriberCount() int {
 	h.mu.Lock()

@@ -1,0 +1,91 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+
+	"cpm"
+	"cpm/client"
+	"cpm/internal/server"
+	"cpm/workload"
+)
+
+// BenchmarkLoopbackDelivery measures the serving layer end to end: one
+// remote tick (client → TCP → monitor) plus delivery of every resulting
+// diff event back over the subscription stream (monitor → hub → forwarder
+// → TCP → client). The per-op time is one full cycle of remote ingest and
+// push-out at the default small-scale workload.
+func BenchmarkLoopbackDelivery(b *testing.B) {
+	const k = 8
+	mon := cpm.NewMonitor(cpm.Options{GridSize: 64})
+	srv := server.New(mon, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		mon.Close()
+	}()
+
+	c, err := client.Dial(ln.Addr().String(), client.Options{Buffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	w, err := workload.New(
+		workload.CityOptions{Width: 16, Height: 16, Seed: 9},
+		workload.Params{
+			N: 2000, NumQueries: 50,
+			ObjectSpeed: workload.Medium, QuerySpeed: workload.Medium,
+			ObjectAgility: 0.5, QueryAgility: 0.3,
+			Seed: 10,
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Bootstrap(w.InitialObjects()); err != nil {
+		b.Fatal(err)
+	}
+	for i, q := range w.InitialQueries() {
+		if err := c.RegisterQuery(cpm.QueryID(i), q, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sub, err := c.SubscribeWith(client.SubscribeOptions{Buffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+
+	batches := make([]workload.Batch, b.N)
+	for i := range batches {
+		batches[i] = w.Advance()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		if err := c.Tick(batches[i]); err != nil {
+			b.Fatal(err)
+		}
+		var changed int
+		srv.Locked(func(m *cpm.Monitor) { changed = len(m.ChangedQueries()) })
+		for j := 0; j < changed; j++ {
+			ev := <-sub.Events()
+			if ev.Type != client.EventDiff {
+				b.Fatalf("unexpected %v event mid-stream", ev.Type)
+			}
+			events++
+		}
+	}
+	b.StopTimer()
+	if b.N > 1 && events == 0 {
+		b.Fatal("no events delivered")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

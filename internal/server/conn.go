@@ -1,0 +1,406 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"cpm"
+	"cpm/internal/model"
+	"cpm/internal/wire"
+)
+
+// outKind discriminates the frames a connection's writer can emit.
+type outKind uint8
+
+const (
+	outWelcome outKind = iota
+	outAck
+	outResult
+	outEvent
+	outSnapshot
+	outGap
+)
+
+// outFrame is one queued outbound frame. A single struct (instead of
+// per-kind types) keeps the writer queue allocation-free: frames travel by
+// value through the channel.
+type outFrame struct {
+	kind  outKind
+	reqID uint64
+	subID uint32
+	seq   uint64
+	from  uint64
+	to    uint64
+	query model.QueryID
+	live  bool
+	errs  string
+	diff  model.ResultDiff
+	res   []model.Neighbor
+}
+
+// conn is one client connection: a reader goroutine executing requests, a
+// writer goroutine owning the send side, and one forwarder per
+// subscription.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	out  chan outFrame
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	mu   sync.Mutex
+	subs map[uint32]*cpm.Subscription
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:  s,
+		nc:   nc,
+		out:  make(chan outFrame, s.opts.WriteQueue),
+		done: make(chan struct{}),
+		subs: make(map[uint32]*cpm.Subscription),
+	}
+}
+
+// close tears the connection down from any goroutine: the socket unblocks
+// the reader, done unblocks the writer and the forwarders, and closing the
+// subscriptions unblocks their hub pumps.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		c.mu.Lock()
+		subs := c.subs
+		c.subs = nil
+		c.mu.Unlock()
+		for _, sub := range subs {
+			sub.Close()
+		}
+	})
+}
+
+// send queues one outbound frame, blocking while the writer drains —
+// that blocking is the backpressure path described in the package comment.
+// It reports false once the connection is closing.
+func (c *conn) send(f outFrame) bool {
+	select {
+	case c.out <- f:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// serve runs the connection to completion.
+func (c *conn) serve() {
+	defer c.srv.removeConn(c)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.writeLoop()
+	}()
+
+	err := c.readLoop()
+	// Close before waiting: the writer (and the forwarders) exit via done.
+	c.close()
+	wg.Wait()
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		c.srv.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// readLoop decodes and executes request frames until the connection dies.
+func (c *conn) readLoop() error {
+	r := wire.NewReader(c.nc)
+
+	// The handshake comes first: exactly one Hello.
+	t, payload, err := r.Next()
+	if err != nil {
+		return err
+	}
+	if t != wire.FrameHello {
+		return errors.New("first frame is not hello")
+	}
+	if err := wire.DecodeHello(payload); err != nil {
+		return err
+	}
+	if !c.send(outFrame{kind: outWelcome}) {
+		return nil
+	}
+	c.srv.logf("server: %s: connected", c.nc.RemoteAddr())
+
+	for {
+		t, payload, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if err := c.handle(t, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// handle executes one request frame. Monitor errors become error acks (the
+// stream stays up); protocol errors are returned and kill the connection.
+func (c *conn) handle(t wire.FrameType, payload []byte) error {
+	s := c.srv
+	switch t {
+	case wire.FrameBootstrap:
+		reqID, objs, err := wire.DecodeBootstrap(payload)
+		if err != nil {
+			return err
+		}
+		m := make(map[model.ObjectID]cpm.Point, len(objs))
+		for _, o := range objs {
+			m[o.ID] = o.Pos
+		}
+		errMsg := ""
+		func() {
+			// Bootstrap panics on a second call by contract; a remote
+			// client must not be able to crash the server with it.
+			defer func() {
+				if r := recover(); r != nil {
+					errMsg = "bootstrap rejected: population already loaded"
+				}
+			}()
+			s.monMu.Lock()
+			defer s.monMu.Unlock()
+			s.mon.Bootstrap(m)
+		}()
+		c.ack(reqID, errMsg)
+
+	case wire.FrameTick:
+		reqID, b, err := wire.DecodeTick(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		s.mon.Tick(b)
+		s.monMu.Unlock()
+		c.ack(reqID, "")
+
+	case wire.FrameRegister:
+		reqID, reg, err := wire.DecodeRegister(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		rerr := s.register(reg)
+		s.monMu.Unlock()
+		c.ackErr(reqID, rerr)
+
+	case wire.FrameMoveQuery:
+		reqID, id, pts, err := wire.DecodeMoveQuery(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		rerr := s.mon.MoveQuery(id, pts...)
+		s.monMu.Unlock()
+		c.ackErr(reqID, rerr)
+
+	case wire.FrameRemoveQuery:
+		reqID, id, err := wire.DecodeRemoveQuery(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		s.mon.RemoveQuery(id)
+		s.monMu.Unlock()
+		c.ack(reqID, "")
+
+	case wire.FrameResultReq:
+		reqID, id, err := wire.DecodeResultReq(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		snap := s.mon.Snapshot(id)
+		s.monMu.Unlock()
+		c.send(outFrame{kind: outResult, reqID: reqID, query: id, live: snap[0].Live, res: snap[0].Result})
+
+	case wire.FrameSubscribe:
+		reqID, sub, err := wire.DecodeSubscribe(payload)
+		if err != nil {
+			return err
+		}
+		return c.subscribe(reqID, sub)
+
+	case wire.FrameUnsubscribe:
+		reqID, subID, err := wire.DecodeUnsubscribe(payload)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		sub := c.subs[subID]
+		delete(c.subs, subID)
+		c.mu.Unlock()
+		if sub == nil {
+			c.ack(reqID, "unknown subscription")
+			break
+		}
+		sub.Close() // the forwarder exits when the events channel closes
+		c.ack(reqID, "")
+
+	default:
+		return errors.New("unexpected frame " + t.String())
+	}
+	return nil
+}
+
+// subscribe opens a subscription: under one monitor lock it subscribes to
+// the hub and captures the re-sync snapshots, so no processing cycle can
+// slip between snapshot state and the first live event. The queue order —
+// ack, reset gap, snapshots, live events — is the client's resume
+// contract.
+func (c *conn) subscribe(reqID uint64, sub wire.Subscribe) error {
+	s := c.srv
+	c.mu.Lock()
+	taken := c.subs != nil && c.subs[sub.SubID] != nil
+	c.mu.Unlock()
+	if taken {
+		c.ack(reqID, "subscription id in use")
+		return nil
+	}
+
+	reset := sub.Reset || len(sub.Resume) > 0
+	opts := cpm.SubscribeOptions{Buffer: int(sub.Buffer), Policy: subscribePolicy(sub.Policy)}
+	var (
+		nsub  *cpm.Subscription
+		snaps []cpm.QuerySnapshot
+	)
+	s.monMu.Lock()
+	nsub = s.mon.SubscribeWith(opts, sub.Queries...)
+	if reset || sub.Snapshot {
+		snaps = s.resyncSnapshots(sub)
+	}
+	s.monMu.Unlock()
+
+	c.mu.Lock()
+	if c.subs == nil { // connection already closing
+		c.mu.Unlock()
+		nsub.Close()
+		return nil
+	}
+	c.subs[sub.SubID] = nsub
+	c.mu.Unlock()
+
+	c.ack(reqID, "")
+	if reset {
+		// The reset marker: sequence numbering restarts, snapshots follow.
+		var from uint64
+		resumeAt := make(map[model.QueryID]uint64, len(sub.Resume))
+		for _, rp := range sub.Resume {
+			resumeAt[rp.Query] = rp.Seq
+			if rp.Seq > from {
+				from = rp.Seq
+			}
+		}
+		c.send(outFrame{kind: outGap, subID: sub.SubID, from: from, to: 0})
+		for _, qs := range snaps {
+			c.send(outFrame{kind: outSnapshot, subID: sub.SubID, query: qs.Query,
+				live: qs.Live, seq: resumeAt[qs.Query], res: qs.Result})
+		}
+	} else {
+		for _, qs := range snaps {
+			c.send(outFrame{kind: outSnapshot, subID: sub.SubID, query: qs.Query,
+				live: qs.Live, res: qs.Result})
+		}
+	}
+	go c.forward(sub.SubID, nsub)
+	return nil
+}
+
+// forward pumps one subscription's events into the writer queue, marking
+// sequence gaps (the hub dropped or coalesced events past this consumer)
+// with an explicit Gap frame.
+func (c *conn) forward(subID uint32, sub *cpm.Subscription) {
+	var last uint64
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if ev.Seq != last+1 {
+				if !c.send(outFrame{kind: outGap, subID: subID, from: last, to: ev.Seq}) {
+					return
+				}
+			}
+			last = ev.Seq
+			if !c.send(outFrame{kind: outEvent, subID: subID, seq: ev.Seq, diff: ev.ResultDiff}) {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// ack queues a response ack; empty msg means success.
+func (c *conn) ack(reqID uint64, msg string) { c.send(outFrame{kind: outAck, reqID: reqID, errs: msg}) }
+
+func (c *conn) ackErr(reqID uint64, err error) {
+	if err != nil {
+		c.ack(reqID, err.Error())
+		return
+	}
+	c.ack(reqID, "")
+}
+
+// writeLoop owns the socket's send side: it encodes queued frames into one
+// reused buffer — so steady-state event delivery allocates nothing — and
+// coalesces bursts into single writes.
+func (c *conn) writeLoop() {
+	defer c.close()
+	var buf []byte
+	for {
+		select {
+		case f := <-c.out:
+			buf = appendOut(buf[:0], f)
+			// Coalesce whatever else is already queued into this write.
+		coalesce:
+			for len(buf) < 1<<16 {
+				select {
+				case g := <-c.out:
+					buf = appendOut(buf, g)
+				default:
+					break coalesce
+				}
+			}
+			if _, err := c.nc.Write(buf); err != nil {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// appendOut encodes one queued frame.
+func appendOut(buf []byte, f outFrame) []byte {
+	switch f.kind {
+	case outWelcome:
+		return wire.AppendWelcome(buf)
+	case outAck:
+		return wire.AppendAck(buf, f.reqID, f.errs)
+	case outResult:
+		return wire.AppendResult(buf, f.reqID, f.query, f.live, f.res)
+	case outEvent:
+		return wire.AppendEvent(buf, f.subID, f.seq, f.diff)
+	case outSnapshot:
+		return wire.AppendSnapshot(buf, wire.Snapshot{
+			SubID: f.subID, Query: f.query, Live: f.live, ResumeSeq: f.seq, Result: f.res,
+		})
+	case outGap:
+		return wire.AppendGap(buf, wire.Gap{SubID: f.subID, From: f.from, To: f.to})
+	default:
+		return buf
+	}
+}

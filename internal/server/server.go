@@ -1,0 +1,273 @@
+// Package server exposes a cpm.Monitor over TCP using the internal/wire
+// protocol: remote clients feed the monitor (bootstrap, update batches,
+// query registrations) and consume its results by polling or by
+// subscribing to the push-based diff stream — the serving layer that turns
+// the library into a deployable service.
+//
+// # Concurrency model
+//
+// The monitor itself is single-threaded by contract, so the server
+// serializes every monitor operation — from any connection — behind one
+// mutex; Locked exposes the same mutex to in-process drivers (for example
+// cmd/cpmserver's self-driving workload loop). Each connection runs two
+// goroutines: a reader that decodes request frames and executes them
+// against the monitor, and a writer that owns the socket's send side,
+// encoding every outbound frame from one reused buffer (the wire encoders
+// are allocation-free) and coalescing bursts into single writes. Pushed
+// events travel a third path: one forwarder goroutine per subscription
+// consumes the notify hub's channel and hands events to the writer.
+//
+// # Flow control and loss
+//
+// Delivery never blocks the processing loop. When a consumer falls behind,
+// backpressure propagates backwards — TCP send buffer, writer queue,
+// forwarder — until the notify hub's slow-consumer policy (DropOldest or
+// CoalesceLatest, chosen per subscription) sheds events. The forwarder
+// detects the resulting sequence gaps and inserts an explicit Gap frame,
+// so consumers never miss a loss silently; every diff event carries the
+// full current result, so any single event re-syncs them.
+//
+// # Resume
+//
+// A reconnecting subscriber presents its last-seen sequence number per
+// query (wire.Subscribe.Resume). The server cannot replay the missed
+// events — the hub keeps no history — so it re-syncs the client instead:
+// under one lock it creates the new subscription and snapshots the current
+// results (cpm.Monitor.Snapshot), then sends a reset Gap marker, one
+// Snapshot frame per query (terminated queries come back Live=false), and
+// resumes the live stream. No transition is ever silently lost.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"cpm"
+	"cpm/internal/model"
+	"cpm/internal/notify"
+	"cpm/internal/wire"
+)
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Options tune a Server. The zero value is ready for production use.
+type Options struct {
+	// WriteQueue is the per-connection outbound frame queue capacity
+	// (default 256). When it fills, backpressure reaches the notify hub,
+	// whose per-subscription policy sheds events.
+	WriteQueue int
+	// SocketWriteBuffer, when positive, sets each accepted connection's
+	// kernel send-buffer size (SetWriteBuffer). Shrinking it makes
+	// slow-consumer backpressure (and therefore drop/gap behavior)
+	// reproducible in tests; leave 0 for the OS default in production.
+	SocketWriteBuffer int
+	// Logf, when set, receives connection-level diagnostics (accepted,
+	// closed, protocol errors). The server is silent without it.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 256
+	}
+}
+
+// Server serves one cpm.Monitor to any number of network clients.
+type Server struct {
+	opts Options
+	mon  *cpm.Monitor
+
+	// monMu serializes all monitor access: connection handlers, Locked.
+	monMu sync.Mutex
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server around an existing monitor. The caller keeps
+// ownership of the monitor (and closes it after the server); all direct
+// access must go through Locked once Serve has started.
+func New(mon *cpm.Monitor, opts Options) *Server {
+	opts.defaults()
+	return &Server{
+		opts:  opts,
+		mon:   mon,
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Locked runs f with exclusive access to the served monitor — the hook for
+// in-process drivers (a workload loop, a stats dump) that share the
+// monitor with the network.
+func (s *Server) Locked(f func(m *cpm.Monitor)) {
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
+	f(s.mon)
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error: ErrClosed after Close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		if s.opts.SocketWriteBuffer > 0 {
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.SetWriteBuffer(s.opts.SocketWriteBuffer)
+			}
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address (useful with ":0"), or nil before
+// Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every connection and waits for their
+// handlers to finish. The monitor is left untouched (the caller owns it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// removeConn detaches a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// register executes a registration frame against the monitor (caller holds
+// monMu).
+func (s *Server) register(r wire.Register) error {
+	switch r.Kind {
+	case wire.KindPoint:
+		if len(r.Points) != 1 {
+			return fmt.Errorf("point query has %d points", len(r.Points))
+		}
+		return s.mon.RegisterQuery(r.ID, r.Points[0], r.K)
+	case wire.KindAgg:
+		return s.mon.RegisterAggQuery(r.ID, r.Points, r.K, r.Agg)
+	case wire.KindConstrained:
+		if len(r.Points) != 1 {
+			return fmt.Errorf("constrained query has %d points", len(r.Points))
+		}
+		return s.mon.RegisterConstrainedQuery(r.ID, r.Points[0], r.K, r.Region)
+	case wire.KindRange:
+		if len(r.Points) != 1 {
+			return fmt.Errorf("range query has %d points", len(r.Points))
+		}
+		return s.mon.RegisterRangeQuery(r.ID, r.Points[0], r.Radius)
+	default:
+		return fmt.Errorf("unknown query kind %d", r.Kind)
+	}
+}
+
+// subscribePolicy maps a wire policy byte onto the notify policy.
+func subscribePolicy(p uint8) notify.Policy {
+	if p == 1 {
+		return notify.CoalesceLatest
+	}
+	return notify.DropOldest
+}
+
+// resyncSnapshots captures the full results a (re)subscriber must see: its
+// filter set when it has one, every installed query otherwise — always
+// extended by resumed queries that are gone, so the client learns about
+// terminations it missed (those snapshots come back Live=false). Caller
+// holds monMu.
+func (s *Server) resyncSnapshots(sub wire.Subscribe) []cpm.QuerySnapshot {
+	var snaps []cpm.QuerySnapshot
+	seen := make(map[model.QueryID]bool, len(sub.Queries)+len(sub.Resume))
+	if len(sub.Queries) > 0 {
+		snaps = s.mon.Snapshot(sub.Queries...)
+	} else {
+		snaps = s.mon.Snapshot() // every installed query
+	}
+	for _, qs := range snaps {
+		seen[qs.Query] = true
+	}
+	for _, rp := range sub.Resume {
+		if !seen[rp.Query] {
+			seen[rp.Query] = true
+			snaps = append(snaps, s.mon.Snapshot(rp.Query)...)
+		}
+	}
+	return snaps
+}

@@ -126,6 +126,20 @@ func (m *Monitor) MoveRange(id model.QueryID, center geom.Point) error {
 // IsRange reports whether id names an installed range query.
 func (m *Monitor) IsRange(id model.QueryID) bool { return m.owner(id).IsRange(id) }
 
+// HasQuery reports whether id names an installed query of either kind.
+func (m *Monitor) HasQuery(id model.QueryID) bool { return m.owner(id).HasQuery(id) }
+
+// QueryIDs returns the ids of all installed queries across every shard, in
+// ascending order (matching the single engine on identical streams).
+func (m *Monitor) QueryIDs() []model.QueryID {
+	var ids []model.QueryID
+	for _, e := range m.shards {
+		ids = append(ids, e.QueryIDs()...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // RemoveQuery uninstalls a query of either kind. Unknown ids are a no-op.
 func (m *Monitor) RemoveQuery(id model.QueryID) { m.owner(id).RemoveQuery(id) }
 
