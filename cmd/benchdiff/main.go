@@ -13,13 +13,21 @@
 // unless the baseline reading is below the metric's noise floor (100µs for
 // timings; 1000 mallocs / 256KiB for allocations). The comparison table is
 // printed to stdout and, with -summary, appended to the given file (pass
-// $GITHUB_STEP_SUMMARY in CI). Exit codes: 0 ok, 1 regression, 2 usage or
+// $GITHUB_STEP_SUMMARY in CI).
+//
+// A missing baseline FILE is not an error: on the first CI run on a
+// branch, on forks, and after artifact expiry there is nothing to compare
+// against, so benchdiff prints (and appends to -summary) a "no baseline,
+// gate skipped" note and exits 0 — the gate arms itself on the next run.
+//
+// Exit codes: 0 ok (including the skipped gate), 1 regression, 2 usage or
 // I/O error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cpm/internal/bench"
@@ -27,7 +35,7 @@ import (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "baseline BENCH_*.json report (required)")
+		baseline  = flag.String("baseline", "", "baseline BENCH_*.json report (required; a missing file skips the gate)")
 		current   = flag.String("current", "", "current BENCH_*.json report (required)")
 		threshold = flag.Float64("threshold", 0.25, "allowed relative slowdown before failing (0.25 = +25%)")
 		summary   = flag.String("summary", "", "append the markdown comparison to this file (e.g. $GITHUB_STEP_SUMMARY)")
@@ -43,38 +51,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be positive")
 		os.Exit(2)
 	}
-
-	base, err := bench.ReadReport(*baseline)
-	if err != nil {
-		fatal(err)
-	}
-	cur, err := bench.ReadReport(*current)
-	if err != nil {
-		fatal(err)
-	}
-
-	cmp := bench.Compare(base, cur, *threshold)
-	md := cmp.Markdown()
-	fmt.Print(md)
-	if *summary != "" {
-		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-		if err != nil {
-			fatal(err)
-		}
-		if _, err := f.WriteString(md); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if cmp.Regressed() {
-		os.Exit(1)
-	}
+	os.Exit(run(*baseline, *current, *threshold, *summary, os.Stdout, os.Stderr))
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-	os.Exit(2)
+// run executes the gate and returns the process exit code (separated from
+// main for the missing-baseline regression test).
+func run(baseline, current string, threshold float64, summary string, stdout, stderr io.Writer) int {
+	cur, err := bench.ReadReport(current)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+
+	base, err := bench.ReadReport(baseline)
+	if os.IsNotExist(err) {
+		// First run / fork / expired artifact: nothing to gate against.
+		// Report the skip loudly but exit clean, so fresh pipelines pass.
+		md := fmt.Sprintf("### Bench trajectory\n\nNo baseline at `%s` — gate skipped (first run or expired artifact); %d method rows recorded for the next run.\n",
+			baseline, len(cur.Methods))
+		fmt.Fprint(stdout, md)
+		if err := appendSummary(summary, md); err != nil {
+			return fatal(stderr, err)
+		}
+		return 0
+	}
+	if err != nil {
+		return fatal(stderr, err)
+	}
+
+	cmp := bench.Compare(base, cur, threshold)
+	md := cmp.Markdown()
+	fmt.Fprint(stdout, md)
+	if err := appendSummary(summary, md); err != nil {
+		return fatal(stderr, err)
+	}
+	if cmp.Regressed() {
+		return 1
+	}
+	return 0
+}
+
+// appendSummary appends md to the summary file, if one was requested.
+func appendSummary(path, md string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(md); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+	return 2
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpm/internal/bench"
+)
+
+// writeReport materializes a minimal BENCH_*.json fixture.
+func writeReport(t *testing.T, path string, totalNs int64) {
+	t.Helper()
+	rep := bench.Report{
+		Scale: 0.01, Timestamps: 5,
+		Methods: []bench.MethodResult{{
+			Method:     "CPM",
+			TotalNs:    totalNs,
+			NsPerCycle: totalNs / 5,
+			RegisterNs: totalNs / 10,
+		}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingBaselineSkipsGate is the first-run / fork path: an absent
+// baseline artifact must not fail the gate — benchdiff exits 0 with a
+// "gate skipped" note on stdout and in the -summary file.
+func TestMissingBaselineSkipsGate(t *testing.T) {
+	dir := t.TempDir()
+	current := filepath.Join(dir, "BENCH_now.json")
+	summary := filepath.Join(dir, "summary.md")
+	writeReport(t, current, 50_000_000)
+
+	var out, errOut strings.Builder
+	code := run(filepath.Join(dir, "does-not-exist", "BENCH_prev.json"),
+		current, 0.25, summary, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d with missing baseline, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, text := range []string{out.String(), readFile(t, summary)} {
+		if !strings.Contains(text, "gate skipped") {
+			t.Fatalf("skip note missing from output:\n%s", text)
+		}
+	}
+}
+
+// TestMissingCurrentIsAnError distinguishes the skip from real I/O
+// failures: the current report is produced by the same job, so its absence
+// is a broken pipeline, not a fresh one.
+func TestMissingCurrentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_prev.json")
+	writeReport(t, baseline, 50_000_000)
+
+	var out, errOut strings.Builder
+	code := run(baseline, filepath.Join(dir, "missing.json"), 0.25, "", &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code %d with missing current report, want 2", code)
+	}
+}
+
+// TestGateStillFailsOnRegression pins that the graceful skip did not
+// soften the armed gate.
+func TestGateStillFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_prev.json")
+	current := filepath.Join(dir, "BENCH_now.json")
+	writeReport(t, baseline, 50_000_000)
+	writeReport(t, current, 90_000_000) // +80%
+
+	var out, errOut strings.Builder
+	if code := run(baseline, current, 0.25, "", &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d on a +80%% regression, want 1\n%s", code, out.String())
+	}
+	writeReport(t, current, 52_000_000) // +4%: within threshold
+	out.Reset()
+	if code := run(baseline, current, 0.25, "", &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d on a +4%% drift, want 0\n%s", code, out.String())
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

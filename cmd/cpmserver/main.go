@@ -16,7 +16,8 @@
 //	    the given interval. Clients subscribe (and may register further
 //	    queries of their own) — a one-process demo of the push pipeline.
 //
-// The monitor can run sharded (-shards) exactly like the embedded library.
+// The monitor can run sharded (-shards) and with online grid rebalancing
+// (-rebalance) exactly like the embedded library.
 // Stop with SIGINT/SIGTERM; connections drain and the process exits.
 package main
 
@@ -39,10 +40,11 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7845", "listen address")
-		gridSize = flag.Int("grid", 128, "grid cells per dimension")
-		shards   = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
-		verbose  = flag.Bool("v", false, "log connection events")
+		addr      = flag.String("addr", ":7845", "listen address")
+		gridSize  = flag.Int("grid", 128, "grid cells per dimension")
+		shards    = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
+		rebalance = flag.Bool("rebalance", false, "auto-rebalance the grid online as object density drifts")
+		verbose   = flag.Bool("v", false, "log connection events")
 
 		drive    = flag.Bool("drive", false, "self-drive a generated workload instead of waiting for remote ingest")
 		n        = flag.Int("n", 10000, "object population (-drive)")
@@ -58,7 +60,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cpmserver: -shards must be non-negative")
 		os.Exit(2)
 	}
-	mon := cpm.NewMonitor(cpm.Options{GridSize: *gridSize, Shards: bench.ResolveShards(*shards)})
+	mon := cpm.NewMonitor(cpm.Options{
+		GridSize:      *gridSize,
+		Shards:        bench.ResolveShards(*shards),
+		AutoRebalance: *rebalance,
+	})
 	opts := server.Options{}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -83,7 +89,11 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("cpmserver: serving CPM monitor (grid %d, shards %d) on %s", *gridSize, bench.ResolveShards(*shards), *addr)
+	mode := ""
+	if *rebalance {
+		mode = ", auto-rebalance"
+	}
+	log.Printf("cpmserver: serving CPM monitor (grid %d, shards %d%s) on %s", *gridSize, bench.ResolveShards(*shards), mode, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
 		log.Fatalf("cpmserver: %v", err)
 	}

@@ -7,17 +7,20 @@
 //
 //	cpmsim -method CPM -n 5000 -queries 50 -k 8 -ts 30 -watch 3
 //	cpmsim -method CPM -shards 4 -n 20000 -queries 500
+//	cpmsim -rebalance -n 20000 -queries 200
 //	cpmsim -follow -shards 4 -n 20000 -queries 500
 //	cpmsim -connect 127.0.0.1:7845 -n 5000 -queries 50 -ts 30
 //	cpmsim -connect 127.0.0.1:7845 -follow -ts 30
 //
 // -watch selects how many queries get their results printed each cycle.
 // -shards > 1 runs the CPM method as a sharded parallel monitor (results
-// are identical; cycles run one goroutine per shard). -follow switches
-// from polling to streaming: the simulation subscribes to the monitor's
-// result-diff stream and prints, per cycle, the pushed events — entered /
-// exited / re-ranked neighbors per changed query — instead of re-reading
-// results (CPM only).
+// are identical; cycles run one goroutine per shard). -rebalance turns on
+// online grid rebalancing: as the object density drifts, the monitor
+// resizes the grid between cycles (a line is printed per resize) while
+// results stay exact. -follow switches from polling to streaming: the
+// simulation subscribes to the monitor's result-diff stream and prints,
+// per cycle, the pushed events — entered / exited / re-ranked neighbors
+// per changed query — instead of re-reading results (CPM only).
 //
 // -connect drives a remote monitor instead of an in-process one: the
 // simulation dials a cpmserver, bootstraps the generated population over
@@ -58,6 +61,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
 		follow     = flag.Bool("follow", false, "stream pushed result diffs instead of polling (CPM only)")
 		connect    = flag.String("connect", "", "drive a remote cpmserver at this address instead of an in-process monitor")
+		rebalance  = flag.Bool("rebalance", false, "auto-rebalance the grid online as object density drifts (CPM only)")
 	)
 	flag.Parse()
 
@@ -66,9 +70,19 @@ func main() {
 		os.Exit(2)
 	}
 	nShards := bench.ResolveShards(*shards)
+	if *rebalance && *methodName != "CPM" {
+		fmt.Fprintf(os.Stderr, "cpmsim: -rebalance applies to the CPM method only\n")
+		os.Exit(2)
+	}
 	if *connect != "" {
 		if *methodName != "CPM" {
 			fmt.Fprintf(os.Stderr, "cpmsim: -connect drives a remote CPM monitor; -method does not apply\n")
+			os.Exit(2)
+		}
+		if *rebalance {
+			// Rebalancing is a server-side property of the hosted monitor;
+			// silently dropping the flag would mislead.
+			fmt.Fprintf(os.Stderr, "cpmsim: -rebalance configures an in-process monitor; start the server with `cpmserver -rebalance` instead\n")
 			os.Exit(2)
 		}
 		runRemote(*connect, *n, *queries, *k, *ts, *seed, *speed, *fobj, *fqry, *watch, *follow)
@@ -79,7 +93,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cpmsim: -follow applies to the CPM method only\n")
 			os.Exit(2)
 		}
-		runFollow(*n, *queries, *k, *gridSize, *ts, *seed, *speed, *fobj, *fqry, *watch, nShards)
+		runFollow(*n, *queries, *k, *gridSize, *ts, *seed, *speed, *fobj, *fqry, *watch, nShards, *rebalance)
 		return
 	}
 	var method bench.Method
@@ -103,7 +117,16 @@ func main() {
 	}
 	net, w := makeWorkload(*n, *queries, *seed, *speed, *fobj, *fqry)
 
-	mon := method.NewMonitor(*gridSize, nShards)
+	var mon model.Monitor
+	var rebalMon *cpm.Monitor
+	if *rebalance {
+		// -rebalance routes through the public monitor so the auto policy
+		// (and a visible grid size) come along.
+		rebalMon = cpm.NewMonitor(cpm.Options{GridSize: *gridSize, Shards: nShards, AutoRebalance: true})
+		mon = rebalAdapter{rebalMon}
+	} else {
+		mon = method.NewMonitor(*gridSize, nShards)
+	}
 	mon.Bootstrap(w.InitialObjects())
 	start := time.Now()
 	for i, q := range w.InitialQueries() {
@@ -124,6 +147,7 @@ func main() {
 
 	var total time.Duration
 	statsBase := mon.Stats()
+	lastGrid := *gridSize
 	for cycle := 1; cycle <= *ts; cycle++ {
 		b := w.Advance()
 		t0 := time.Now()
@@ -132,6 +156,13 @@ func main() {
 		total += d
 		fmt.Printf("cycle %3d: %5d object updates, %4d query updates, %8v\n",
 			cycle, len(b.Objects), len(b.Queries), d.Round(time.Microsecond))
+		if rebalMon != nil {
+			if gs := rebalMon.GridSize(); gs != lastGrid {
+				fmt.Printf("           grid rebalanced %dx%d -> %dx%d (δ %.5f)\n",
+					lastGrid, lastGrid, gs, gs, 1/float64(gs))
+				lastGrid = gs
+			}
+		}
 		for i := 0; i < *watch; i++ {
 			cur := mon.Result(model.QueryID(i))
 			if changed(prev[i], cur) {
@@ -141,11 +172,29 @@ func main() {
 		}
 	}
 	s := mon.Stats().Sub(statsBase)
+	if rebalMon != nil {
+		fmt.Printf("\n%d grid rebalances; final grid %dx%d\n", rebalMon.Rebalances(), lastGrid, lastGrid)
+	}
 	fmt.Printf("\ntotal processing %v (%v per cycle)\n", total.Round(time.Microsecond),
 		(total / time.Duration(*ts)).Round(time.Microsecond))
 	fmt.Printf("cell accesses %d (%.2f per query per cycle), heap ops %d, re-computations %d, full searches %d, short-circuits %d\n",
 		s.CellAccesses, float64(s.CellAccesses)/float64(*queries**ts),
 		s.HeapOps, s.Recomputations, s.FullSearches, s.ShortCircuits)
+}
+
+// rebalAdapter drives a public cpm.Monitor through the model.Monitor
+// surface so the -rebalance run shares the polling loop with the bench
+// method monitors.
+type rebalAdapter struct{ m *cpm.Monitor }
+
+func (r rebalAdapter) Name() string                                { return "CPM-rebalance" }
+func (r rebalAdapter) Bootstrap(objs map[model.ObjectID]cpm.Point) { r.m.Bootstrap(objs) }
+func (r rebalAdapter) ProcessBatch(b model.Batch)                  { r.m.Tick(b) }
+func (r rebalAdapter) RemoveQuery(id model.QueryID)                { r.m.RemoveQuery(id) }
+func (r rebalAdapter) Result(id model.QueryID) []model.Neighbor    { return r.m.Result(id) }
+func (r rebalAdapter) Stats() model.Stats                          { return r.m.Stats() }
+func (r rebalAdapter) RegisterQuery(id model.QueryID, q cpm.Point, k int) error {
+	return r.m.RegisterQuery(id, q, k)
 }
 
 // makeWorkload builds the road network and the update-stream generator
@@ -184,10 +233,10 @@ func makeWorkload(n, queries int, seed int64, speed string, fobj, fqry float64) 
 // pushed events. The read is deterministic: every cycle publishes exactly
 // one event per changed query, so the loop takes len(ChangedQueries())
 // events off the stream after each Tick.
-func runFollow(n, queries, k, gridSize, ts int, seed int64, speed string, fobj, fqry float64, watch, nShards int) {
+func runFollow(n, queries, k, gridSize, ts int, seed int64, speed string, fobj, fqry float64, watch, nShards int, rebalance bool) {
 	net, w := makeWorkload(n, queries, seed, speed, fobj, fqry)
 
-	mon := cpm.NewMonitor(cpm.Options{GridSize: gridSize, Shards: nShards})
+	mon := cpm.NewMonitor(cpm.Options{GridSize: gridSize, Shards: nShards, AutoRebalance: rebalance})
 	mon.Bootstrap(w.InitialObjects())
 	sub := mon.SubscribeWith(cpm.SubscribeOptions{Buffer: 2*queries + 16})
 

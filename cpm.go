@@ -46,7 +46,10 @@ import (
 	"cpm/internal/shard"
 )
 
-var errRangeMove = errors.New("cpm: a range query moves with exactly one point")
+var (
+	errRangeMove = errors.New("cpm: a range query moves with exactly one point")
+	errGridSize  = errors.New("cpm: rebalance needs a positive grid size")
+)
 
 // Point is a location in the two-dimensional workspace.
 type Point = geom.Point
@@ -163,8 +166,10 @@ type Options struct {
 	// workspace extent / GridSize). Default 128.
 	GridSize int
 	// Workspace is the indexed square area. Default the unit square.
-	// Objects outside it are clamped into border cells; distances stay
-	// exact.
+	// Object positions outside it are clamped onto its border before
+	// storage (so every stored position lies inside its grid cell — the
+	// invariant mindist-based search pruning needs); distances are
+	// computed from the clamped position. Query points are never clamped.
 	Workspace Rect
 	// PerUpdate disables batched update handling (ablation; Section 3.2
 	// semantics). Leave false for production use.
@@ -184,6 +189,23 @@ type Options struct {
 	// Useful from a few hundred queries up on a multi-core machine; see
 	// internal/shard's BenchmarkTick.
 	Shards int
+
+	// AutoRebalance resizes the grid online as the object density drifts,
+	// instead of freezing the cell side δ at construction: at every
+	// RebalanceCheckEvery-th Tick the monitor reads the mean occupancy of
+	// non-empty cells and, when it has drifted past a hysteresis band
+	// around TargetObjectsPerCell, rebuilds the grid at the size that
+	// restores the target — reinstalling all query book-keeping without
+	// recomputing a single result (results are δ-independent). With
+	// Shards > 1 the resize is coordinated across all shard replicas
+	// between ticks, so the merged streams stay exact. See the README's
+	// "Online grid rebalancing" design note.
+	AutoRebalance bool
+	// TargetObjectsPerCell is the occupancy the rebalancing policy steers
+	// toward. Default 8.
+	TargetObjectsPerCell float64
+	// RebalanceCheckEvery is the policy cadence in Ticks. Default 16.
+	RebalanceCheckEvery int
 }
 
 func (o *Options) defaults() {
@@ -216,6 +238,9 @@ type backend interface {
 	MemoryFootprint() int64
 	EnableDiffs(on bool)
 	TakeDiffs() []model.ResultDiff
+	Rebalance(newSize int)
+	GridSize() int
+	Rebalances() int64
 }
 
 var (
@@ -252,8 +277,23 @@ func NewMonitor(opts Options) *Monitor {
 		PerUpdate:       opts.PerUpdate,
 		DropBookkeeping: opts.DropBookkeeping,
 	}
-	if opts.Shards > 1 {
-		return &Monitor{e: shard.New(opts.Shards, opts.GridSize, opts.Workspace, copts)}
+	if opts.Shards > 1 || opts.AutoRebalance {
+		// The auto-rebalancing policy lives in the sharded monitor (it is
+		// the layer that coordinates the resize across replicas); with one
+		// shard it is a thin pass-through around a single engine.
+		n := opts.Shards
+		if n < 1 {
+			n = 1
+		}
+		s := shard.New(n, opts.GridSize, opts.Workspace, copts)
+		if opts.AutoRebalance {
+			s.SetAutoRebalance(shard.AutoRebalance{
+				Enabled:              true,
+				TargetObjectsPerCell: opts.TargetObjectsPerCell,
+				CheckEvery:           opts.RebalanceCheckEvery,
+			})
+		}
+		return &Monitor{e: s}
 	}
 	return &Monitor{e: core.NewEngine(opts.GridSize, opts.Workspace, copts)}
 }
@@ -396,6 +436,29 @@ func (m *Monitor) Snapshot(ids ...QueryID) []QuerySnapshot {
 	}
 	return out
 }
+
+// Rebalance re-partitions the grid into gridSize×gridSize cells online,
+// migrating the object store and reinstalling every installed query's
+// index book-keeping without recomputing any result: answers are
+// δ-independent, only the index is not, so results, reported snapshots and
+// the diff stream are untouched. With Shards > 1 all shard replicas resize
+// together. Like every other method it must be called from the processing
+// loop, between Ticks. Most callers want Options.AutoRebalance instead.
+func (m *Monitor) Rebalance(gridSize int) error {
+	if gridSize <= 0 {
+		return errGridSize
+	}
+	m.e.Rebalance(gridSize)
+	return nil
+}
+
+// GridSize returns the current number of grid cells per dimension — a
+// runtime property once rebalancing is on.
+func (m *Monitor) GridSize() int { return m.e.GridSize() }
+
+// Rebalances returns how many online grid resizes the monitor has
+// performed (manual and automatic).
+func (m *Monitor) Rebalances() int64 { return m.e.Rebalances() }
 
 // ObjectPosition returns the current position of a live object.
 func (m *Monitor) ObjectPosition(id ObjectID) (Point, bool) {

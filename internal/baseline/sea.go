@@ -124,6 +124,11 @@ func (s *SEA) ProcessBatch(b model.Batch) {
 	// size the case-iii circle correctly when objects move in the same
 	// cycle. Only the resolution step is skipped for them.
 	for _, u := range b.Objects {
+		if u.Kind != model.Delete {
+			// The grid stores positions clamped onto the workspace; classify
+			// against the same point so distances match the stored state.
+			u.New = s.g.Clamp(u.New)
+		}
 		oldCell, newCell, ok := applyToGrid(s.g, u)
 		if !ok {
 			s.invalid++

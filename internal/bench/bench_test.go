@@ -189,12 +189,15 @@ func TestWriteReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
-	// The two requested methods plus the always-on wire-encode row the
-	// serving layer contributes.
-	if len(rep.Methods) != 3 {
-		t.Fatalf("report holds %d methods, want 3", len(rep.Methods))
+	// The two requested methods plus the always-on pseudo-method rows: the
+	// serving layer's wire-encode row and the two hotspot-drift rebalance
+	// rows.
+	if len(rep.Methods) != 5 {
+		t.Fatalf("report holds %d methods, want 5", len(rep.Methods))
 	}
+	seen := map[string]bool{}
 	for _, mr := range rep.Methods {
+		seen[mr.Method] = true
 		if mr.Method == WireEncodeMethod {
 			// The wire hot path is allocation-free by design; the counter
 			// only ever sees stray background allocations, so it must stay
@@ -208,8 +211,10 @@ func TestWriteReport(t *testing.T) {
 			t.Errorf("implausible method result: %+v", mr)
 		}
 	}
-	if rep.Methods[len(rep.Methods)-1].Method != WireEncodeMethod {
-		t.Errorf("wire-encode row missing: %+v", rep.Methods)
+	for _, want := range []string{WireEncodeMethod, RebalanceMethod, RebalanceFrozenMethod} {
+		if !seen[want] {
+			t.Errorf("%s row missing: %+v", want, rep.Methods)
+		}
 	}
 	if rep.GOMAXPROCS <= 0 || rep.Shards <= 0 {
 		t.Errorf("environment fields missing: %+v", rep)

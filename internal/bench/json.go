@@ -87,6 +87,15 @@ func RunReport(o Options, methods []Method) (Report, error) {
 		return Report{}, err
 	}
 	rep.Methods = append(rep.Methods, wireRes)
+	// The online-rebalancing rows: the hotspot-drift workload run with the
+	// auto-rebalancing policy on ("rebalance") and on a frozen grid
+	// ("rebalance-frozen"), so every report records the cycle-time recovery
+	// a resize buys and the gate tracks both trajectories.
+	rebRes, err := rebalanceResults(o.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Methods = append(rep.Methods, rebRes...)
 	return rep, nil
 }
 

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"cpm/internal/core"
+	"cpm/internal/geom"
+	"cpm/internal/model"
+	"cpm/internal/shard"
+)
+
+// The rebalance trajectory rows: online grid rebalancing exists to keep
+// cycle time flat when the population density drifts away from the density
+// δ was sized for, so the JSON report carries a dedicated hotspot-drift
+// workload — every object contracts from a uniform spread into a tiny
+// hotspot, then keeps churning inside it — run twice over identical
+// update streams: once on a frozen grid ("rebalance-frozen", the paper's
+// fixed-δ baseline degrading as cells around the hotspot fill up) and once
+// with the auto-rebalancing policy on ("rebalance"). The CI benchdiff gate
+// watches both like any method column; the pair makes the recovery visible
+// in every BENCH_smoke.json: the rebalance row's per-cycle time holds near
+// the uniform-density cost while the frozen row's blows up with the
+// hotspot. TestRebalanceBeatsFrozen pins the relation on deterministic
+// work counters.
+
+// Method-column names of the two drift rows.
+const (
+	RebalanceMethod       = "rebalance"
+	RebalanceFrozenMethod = "rebalance-frozen"
+)
+
+// driftParams sizes the hotspot-drift workload.
+type driftParams struct {
+	N        int   // objects
+	Queries  int   // k-NN queries, sprinkled around the hotspot
+	K        int   // neighbors per query
+	GridSize int   // initial cells per dimension (the frozen grid keeps it)
+	Cycles   int   // total processing cycles; the first half is the drift
+	Seed     int64 // rng seed
+}
+
+// smokeDriftParams is the configuration of the JSON report's rows.
+var smokeDriftParams = driftParams{
+	N: 3000, Queries: 24, K: 8, GridSize: 64, Cycles: 36, Seed: 1,
+}
+
+// driftHotspot is the collapse target: center and radius of the final
+// population blob (a handful of cells of the initial grid).
+var driftHotspot = struct {
+	center geom.Point
+	radius float64
+}{geom.Point{X: 0.5, Y: 0.5}, 0.02}
+
+// driftWorkload pre-generates the full update stream (identical for both
+// monitors): initial positions, per-cycle batches, and the query points.
+func driftWorkload(p driftParams) (objs map[model.ObjectID]geom.Point, batches []model.Batch, queries []geom.Point) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	inHotspot := func() geom.Point {
+		return geom.Point{
+			X: clamp(driftHotspot.center.X + (rng.Float64()*2-1)*driftHotspot.radius),
+			Y: clamp(driftHotspot.center.Y + (rng.Float64()*2-1)*driftHotspot.radius),
+		}
+	}
+
+	pos := make([]geom.Point, p.N)
+	objs = make(map[model.ObjectID]geom.Point, p.N)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		objs[model.ObjectID(i)] = pos[i]
+	}
+	queries = make([]geom.Point, p.Queries)
+	for i := range queries {
+		queries[i] = inHotspot()
+	}
+
+	batches = make([]model.Batch, p.Cycles)
+	for c := range batches {
+		b := model.Batch{Objects: make([]model.Update, 0, p.N)}
+		for i := range pos {
+			old := pos[i]
+			var to geom.Point
+			if c < p.Cycles/2 {
+				// Drift: contract 35% of the way toward a point inside the
+				// hotspot each cycle — fully collapsed well before halftime.
+				target := inHotspot()
+				to = geom.Point{
+					X: old.X + (target.X-old.X)*0.35,
+					Y: old.Y + (target.Y-old.Y)*0.35,
+				}
+			} else {
+				// Post-drift steady state: churn inside the hotspot, keeping
+				// the update (and result-maintenance) load high at maximum
+				// density.
+				to = inHotspot()
+			}
+			pos[i] = to
+			b.Objects = append(b.Objects, model.MoveUpdate(model.ObjectID(i), old, to))
+		}
+		batches[c] = b
+	}
+	return objs, batches, queries
+}
+
+// driftRun is one monitor's measurement over the drift workload.
+type driftRun struct {
+	Elapsed    time.Duration // total ProcessBatch time, all cycles
+	SecondHalf time.Duration // ProcessBatch time across the post-drift half
+	Registered time.Duration
+	Stats      model.Stats // whole-run counter deltas
+	HalfStats  model.Stats // post-drift-half counter deltas
+	Mallocs    uint64
+	AllocBytes uint64
+	Memory     int64
+	GridSize   int   // final cells per dimension
+	Rebalances int64 // resizes performed
+}
+
+// runDrift drives one monitor through the pre-generated drift stream.
+func runDrift(m *shard.Monitor, objs map[model.ObjectID]geom.Point, batches []model.Batch, queries []geom.Point, k int) (driftRun, error) {
+	defer m.Close()
+	m.Bootstrap(objs)
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	regStart := time.Now()
+	for i, q := range queries {
+		if err := m.RegisterQuery(model.QueryID(i), q, k); err != nil {
+			return driftRun{}, err
+		}
+	}
+	r := driftRun{Registered: time.Since(regStart)}
+
+	base := m.Stats()
+	var halfBase model.Stats
+	for c, b := range batches {
+		start := time.Now()
+		m.ProcessBatch(b)
+		d := time.Since(start)
+		r.Elapsed += d
+		if c >= len(batches)/2 {
+			r.SecondHalf += d
+		}
+		if c == len(batches)/2-1 {
+			halfBase = m.Stats()
+		}
+	}
+	runtime.ReadMemStats(&msAfter)
+	final := m.Stats()
+	r.Stats = final.Sub(base)
+	r.HalfStats = final.Sub(halfBase)
+	r.Mallocs = msAfter.Mallocs - msBefore.Mallocs
+	r.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
+	r.Memory = m.MemoryFootprint()
+	r.GridSize = m.GridSize()
+	r.Rebalances = m.Rebalances()
+	return r, nil
+}
+
+// runDriftPair runs the identical drift stream on a frozen-grid monitor
+// and an auto-rebalancing one.
+func runDriftPair(p driftParams) (frozen, auto driftRun, err error) {
+	objs, batches, queries := driftWorkload(p)
+
+	frozen, err = runDrift(shard.NewUnit(1, p.GridSize, core.Options{}), objs, batches, queries, p.K)
+	if err != nil {
+		return driftRun{}, driftRun{}, err
+	}
+
+	m := shard.NewUnit(1, p.GridSize, core.Options{})
+	m.SetAutoRebalance(shard.AutoRebalance{
+		Enabled:    true,
+		CheckEvery: 4, // react during the drift, not after it
+	})
+	auto, err = runDrift(m, objs, batches, queries, p.K)
+	if err != nil {
+		return driftRun{}, driftRun{}, err
+	}
+	return frozen, auto, nil
+}
+
+// rebalanceResults builds the two drift rows of the JSON report.
+func rebalanceResults(seed int64) ([]MethodResult, error) {
+	p := smokeDriftParams
+	p.Seed = seed
+	frozen, auto, err := runDriftPair(p)
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, r driftRun) MethodResult {
+		return MethodResult{
+			Method:  name,
+			TotalNs: r.Elapsed.Nanoseconds(),
+			// For the drift rows ns_per_cycle is the POST-drift mean — the
+			// recovery metric: at full hotspot density the frozen row pays
+			// the collapsed-δ penalty every cycle, the rebalance row does
+			// not.
+			NsPerCycle: r.SecondHalf.Nanoseconds() / int64(p.Cycles-p.Cycles/2),
+			RegisterNs: r.Registered.Nanoseconds(),
+
+			CellAccesses: r.Stats.CellAccesses,
+			ObjectsProc:  r.Stats.ObjectsProcessed,
+			HeapOps:      r.Stats.HeapOps,
+			Recomputes:   r.Stats.Recomputations,
+			FullSearches: r.Stats.FullSearches,
+			ShortCircs:   r.Stats.ShortCircuits,
+			Mallocs:      r.Mallocs,
+			AllocBytes:   r.AllocBytes,
+			MemoryUnits:  r.Memory,
+			Queries:      p.Queries,
+			Timestamps:   p.Cycles,
+		}
+	}
+	return []MethodResult{row(RebalanceMethod, auto), row(RebalanceFrozenMethod, frozen)}, nil
+}

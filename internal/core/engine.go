@@ -55,6 +55,7 @@ type Engine struct {
 	// needs the two kinds apart to report a non-inflated total.
 	invalidObjects int64
 	invalidQueries int64
+	rebalances     int64 // grid resizes performed (Rebalance)
 	cycle          int64
 	dirty          []*query      // queries touched by the current cycle
 	dirtyRanges    []*rangeQuery // range queries touched by the current cycle

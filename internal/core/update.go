@@ -111,7 +111,11 @@ func (e *Engine) applyObjectUpdate(u model.Update) {
 			e.invalidObjects++
 			return
 		}
-		oldCell, newCell, err := e.g.Move(u.ID, u.New)
+		// The grid stores positions clamped onto the workspace; the scans
+		// below must see the same point the index stores, or an object's
+		// routed distance would disagree with its stored one.
+		p := e.g.Clamp(u.New)
+		oldCell, newCell, err := e.g.Move(u.ID, p)
 		if err != nil {
 			e.invalidObjects++
 			return
@@ -124,27 +128,28 @@ func (e *Engine) applyObjectUpdate(u model.Update) {
 		if e.g.InfluenceLen(oldCell) == 0 && e.g.InfluenceLen(newCell) == 0 {
 			return
 		}
-		e.scanOldCell(u.ID, u.New, oldCell)
-		e.scanNewCell(u.ID, u.New, newCell)
-		e.rangeScan(oldCell, u.ID, u.New, true)
+		e.scanOldCell(u.ID, p, oldCell)
+		e.scanNewCell(u.ID, p, newCell)
+		e.rangeScan(oldCell, u.ID, p, true)
 		if newCell != oldCell {
-			e.rangeScan(newCell, u.ID, u.New, true)
+			e.rangeScan(newCell, u.ID, p, true)
 		}
 	case model.Insert:
 		if !finitePoint(u.New) {
 			e.invalidObjects++
 			return
 		}
-		if err := e.g.Insert(u.ID, u.New); err != nil {
+		p := e.g.Clamp(u.New)
+		if err := e.g.Insert(u.ID, p); err != nil {
 			e.invalidObjects++
 			return
 		}
-		newCell := e.g.CellOf(u.New)
+		newCell := e.g.CellOf(p)
 		if e.g.InfluenceLen(newCell) == 0 {
 			return
 		}
-		e.scanNewCell(u.ID, u.New, newCell)
-		e.rangeScan(newCell, u.ID, u.New, true)
+		e.scanNewCell(u.ID, p, newCell)
+		e.rangeScan(newCell, u.ID, p, true)
 	case model.Delete:
 		pos, ok := e.g.Position(u.ID)
 		if !ok {

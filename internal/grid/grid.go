@@ -9,6 +9,13 @@
 // (i) the set of objects inside it and (ii) the influence list — the queries
 // whose influence (or answer) region contains the cell.
 //
+// Invariant: every stored object position lies inside the workspace (and
+// therefore inside its cell's rectangle). Insert and Move clamp incoming
+// positions onto the workspace border (Clamp); without that, an object
+// beyond the border would sit in a cell whose rect does not contain it, and
+// mindist-based search pruning could skip the cell holding the true nearest
+// neighbor (the property test TestOutOfWorkspaceObjects pins this).
+//
 // The paper prescribes hash tables for both sets so that deletion and
 // insertion take expected constant time (Time_ind = 2 in the Section 4.1
 // model). This implementation substitutes dense swap-delete slices
@@ -47,7 +54,7 @@ type Cell struct {
 type Grid struct {
 	size      int       // cells per dimension
 	delta     float64   // cell side length δ
-	workspace geom.Rect // indexed area; points outside are clamped to border cells
+	workspace geom.Rect // indexed area; points outside are clamped onto the border
 	cells     []Cell
 
 	positions []geom.Point // dense object position store, indexed by ObjectID
@@ -55,12 +62,14 @@ type Grid struct {
 	slots     []int32 // intrusive index: object -> slot in its cell's object slice
 
 	count        int   // live objects
+	nonEmpty     int   // cells currently holding at least one object
 	cellAccesses int64 // complete scans of cell object lists
 }
 
 // New creates a grid of size×size cells over the given workspace.
-// It panics on a non-positive size or an empty workspace: grid geometry is
-// fixed at construction and an invalid one is a programming error.
+// It panics on a non-positive size or an empty workspace: an invalid
+// geometry is a programming error. The cell count can later be changed
+// online with Rebuild; the workspace is fixed for the grid's lifetime.
 func New(size int, workspace geom.Rect) *Grid {
 	if size <= 0 {
 		panic(fmt.Sprintf("grid: non-positive size %d", size))
@@ -98,6 +107,68 @@ func (g *Grid) Workspace() geom.Rect { return g.workspace }
 
 // Count returns the number of live objects.
 func (g *Grid) Count() int { return g.count }
+
+// NonEmptyCells returns how many cells currently hold at least one object.
+// It is maintained incrementally (O(1) per insert/delete/relocation), so
+// the rebalancing policy can read occupancy every cycle for free.
+func (g *Grid) NonEmptyCells() int { return g.nonEmpty }
+
+// MeanOccupancy returns the average number of live objects per non-empty
+// cell — the density statistic the online rebalancing policy steers by.
+// It is 0 for an empty grid.
+func (g *Grid) MeanOccupancy() float64 {
+	if g.nonEmpty == 0 {
+		return 0
+	}
+	return float64(g.count) / float64(g.nonEmpty)
+}
+
+// Clamp projects p onto the workspace. Stored object positions are always
+// clamped (see Insert/Move): a raw position outside the workspace would lie
+// outside its cell's rectangle, and mindist-ordered search pruning — which
+// lower-bounds every object in a cell by the cell rect's mindist — could
+// then prune the cell holding the true nearest neighbor. Clamping restores
+// the containment invariant for any query point, inside the workspace or
+// not.
+func (g *Grid) Clamp(p geom.Point) geom.Point {
+	if p.X < g.workspace.Lo.X {
+		p.X = g.workspace.Lo.X
+	} else if p.X > g.workspace.Hi.X {
+		p.X = g.workspace.Hi.X
+	}
+	if p.Y < g.workspace.Lo.Y {
+		p.Y = g.workspace.Lo.Y
+	} else if p.Y > g.workspace.Hi.Y {
+		p.Y = g.workspace.Hi.Y
+	}
+	return p
+}
+
+// Rebuild re-partitions the workspace into newSize×newSize cells and
+// migrates every live object into the fresh cell array — the grid half of
+// online rebalancing (δ becomes extent/newSize). The dense object store
+// (positions, liveness, slot index) survives; cell object lists are rebuilt
+// in ascending id order, and the intrusive slots are rewritten as they go.
+//
+// Influence lists do NOT survive: they are cell-resolution book-keeping,
+// and the engine that owns the queries must reinstall them (together with
+// each query's visit list and heap) right after — see core.Engine.Rebalance.
+// The cumulative cell-access counter is preserved: a rebuild is index
+// maintenance, not search work.
+func (g *Grid) Rebuild(newSize int) {
+	if newSize <= 0 {
+		panic(fmt.Sprintf("grid: non-positive rebuild size %d", newSize))
+	}
+	g.size = newSize
+	g.delta = g.workspace.Width() / float64(newSize)
+	g.cells = make([]Cell, newSize*newSize)
+	g.nonEmpty = 0
+	for id, ok := range g.alive {
+		if ok {
+			g.addObject(g.CellOf(g.positions[id]), model.ObjectID(id))
+		}
+	}
+}
 
 // ColRow returns the column and row of the cell covering p. Points on or
 // beyond the workspace border are clamped into the border cells, so every

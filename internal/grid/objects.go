@@ -28,9 +28,12 @@ func (g *Grid) ensureID(id model.ObjectID) {
 }
 
 // addObject appends id to cell c's object slice and records its slot in the
-// intrusive index.
+// intrusive index, keeping the non-empty-cell counter current.
 func (g *Grid) addObject(c CellIndex, id model.ObjectID) {
 	cell := &g.cells[c]
+	if len(cell.objects) == 0 {
+		g.nonEmpty++
+	}
 	g.slots[id] = int32(len(cell.objects))
 	cell.objects = append(cell.objects, id)
 }
@@ -45,10 +48,14 @@ func (g *Grid) removeObject(c CellIndex, id model.ObjectID) {
 	cell.objects[s] = moved
 	g.slots[moved] = s
 	cell.objects = cell.objects[:last]
+	if last == 0 {
+		g.nonEmpty--
+	}
 }
 
-// Insert adds a new object at p. Inserting an id that is already live is an
-// error in the update stream and is reported rather than silently merged.
+// Insert adds a new object at p, clamped onto the workspace (see Clamp).
+// Inserting an id that is already live is an error in the update stream and
+// is reported rather than silently merged.
 func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
 	if id < 0 {
 		return fmt.Errorf("grid: negative object id %d", id)
@@ -57,6 +64,7 @@ func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
 	if g.alive[id] {
 		return fmt.Errorf("grid: insert of live object %d", id)
 	}
+	p = g.Clamp(p)
 	g.alive[id] = true
 	g.positions[id] = p
 	g.addObject(g.CellOf(p), id)
@@ -76,12 +84,14 @@ func (g *Grid) Delete(id model.ObjectID) error {
 	return nil
 }
 
-// Move relocates a live object to p and returns the old and new cells.
-// When both are the same cell only the stored position changes.
+// Move relocates a live object to p (clamped onto the workspace, see
+// Clamp) and returns the old and new cells. When both are the same cell
+// only the stored position changes.
 func (g *Grid) Move(id model.ObjectID, p geom.Point) (oldCell, newCell CellIndex, err error) {
 	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
 		return NoCell, NoCell, fmt.Errorf("grid: move of unknown object %d", id)
 	}
+	p = g.Clamp(p)
 	oldCell = g.CellOf(g.positions[id])
 	newCell = g.CellOf(p)
 	g.positions[id] = p

@@ -1,0 +1,171 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpm/internal/geom"
+	"cpm/internal/model"
+)
+
+// checkGridConsistency verifies the structural invariants of the object
+// store: every live object sits in the cell covering its stored position,
+// its intrusive slot points at itself, every stored position lies inside
+// the workspace, and the count/non-empty counters match reality.
+func checkGridConsistency(t *testing.T, g *Grid) {
+	t.Helper()
+	live, nonEmpty := 0, 0
+	for c := range g.cells {
+		if len(g.cells[c].objects) > 0 {
+			nonEmpty++
+		}
+		for s, id := range g.cells[c].objects {
+			if !g.Alive(id) {
+				t.Fatalf("cell %d holds dead object %d", c, id)
+			}
+			if g.slots[id] != int32(s) {
+				t.Fatalf("object %d slot %d, stored in slot %d", id, g.slots[id], s)
+			}
+			p := g.Pos(id)
+			if want := g.CellOf(p); want != CellIndex(c) {
+				t.Fatalf("object %d at %v stored in cell %d, position maps to %d", id, p, c, want)
+			}
+			if !g.Workspace().Contains(p) {
+				t.Fatalf("object %d stored position %v outside workspace", id, p)
+			}
+			if !g.RectOf(CellIndex(c)).Contains(p) {
+				t.Fatalf("object %d position %v outside its cell %d rect %v",
+					id, p, c, g.RectOf(CellIndex(c)))
+			}
+			live++
+		}
+	}
+	if live != g.Count() {
+		t.Fatalf("cells hold %d objects, Count() = %d", live, g.Count())
+	}
+	if nonEmpty != g.NonEmptyCells() {
+		t.Fatalf("%d non-empty cells, NonEmptyCells() = %d", nonEmpty, g.NonEmptyCells())
+	}
+}
+
+// TestRebuildMigratesObjects grows and shrinks a populated grid and checks
+// that the object store survives intact and stays fully mutable.
+func TestRebuildMigratesObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewUnit(8)
+	randPoint := func() geom.Point {
+		// Deliberately over-reach the workspace: Insert/Move must clamp.
+		return geom.Point{X: rng.Float64()*3 - 1, Y: rng.Float64()*3 - 1}
+	}
+	for i := 0; i < 200; i++ {
+		if err := g.Insert(model.ObjectID(i), randPoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []model.ObjectID{3, 77, 150} {
+		if err := g.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkGridConsistency(t, g)
+	accesses := g.CellAccesses()
+
+	for _, size := range []int{32, 8, 5, 64} {
+		wantCount := g.Count()
+		g.Rebuild(size)
+		if g.Size() != size {
+			t.Fatalf("Size() = %d after Rebuild(%d)", g.Size(), size)
+		}
+		if want := g.Workspace().Width() / float64(size); g.Delta() != want {
+			t.Fatalf("Delta() = %v after Rebuild(%d), want %v", g.Delta(), size, want)
+		}
+		if g.Count() != wantCount {
+			t.Fatalf("Count() = %d after Rebuild(%d), want %d", g.Count(), size, wantCount)
+		}
+		if g.CellAccesses() != accesses {
+			t.Fatalf("Rebuild moved the cell-access counter: %d -> %d", accesses, g.CellAccesses())
+		}
+		checkGridConsistency(t, g)
+
+		// The store stays fully mutable on the new geometry.
+		for i := 0; i < 50; i++ {
+			id := model.ObjectID(rng.Intn(200))
+			if !g.Alive(id) {
+				if err := g.Insert(id, randPoint()); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				if err := g.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, _, err := g.Move(id, randPoint()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkGridConsistency(t, g)
+	}
+}
+
+// TestClampStoredPositions pins the containment invariant the search
+// pruning relies on: positions beyond the workspace are stored clamped
+// onto the border, never raw.
+func TestClampStoredPositions(t *testing.T) {
+	g := NewUnit(4)
+	cases := []struct{ in, want geom.Point }{
+		{geom.Point{X: 2.5, Y: 0.2}, geom.Point{X: 1, Y: 0.2}},
+		{geom.Point{X: -0.5, Y: -3}, geom.Point{X: 0, Y: 0}},
+		{geom.Point{X: 0.25, Y: 1.75}, geom.Point{X: 0.25, Y: 1}},
+		{geom.Point{X: 0.5, Y: 0.5}, geom.Point{X: 0.5, Y: 0.5}},
+	}
+	for i, c := range cases {
+		if err := g.Insert(model.ObjectID(i), c.in); err != nil {
+			t.Fatal(err)
+		}
+		if p, _ := g.Position(model.ObjectID(i)); p != c.want {
+			t.Fatalf("insert %v stored as %v, want %v", c.in, p, c.want)
+		}
+	}
+	if _, _, err := g.Move(0, geom.Point{X: 0.1, Y: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := g.Position(0); p != (geom.Point{X: 0.1, Y: 1}) {
+		t.Fatalf("move stored as %v, want clamped", p)
+	}
+	checkGridConsistency(t, g)
+}
+
+// TestNonEmptyCellsCounter tracks the occupancy counter through inserts,
+// in-cell and cross-cell moves, and deletes.
+func TestNonEmptyCellsCounter(t *testing.T) {
+	g := NewUnit(4)
+	if g.NonEmptyCells() != 0 {
+		t.Fatalf("fresh grid NonEmptyCells = %d", g.NonEmptyCells())
+	}
+	g.Insert(1, geom.Point{X: 0.1, Y: 0.1})
+	g.Insert(2, geom.Point{X: 0.15, Y: 0.1}) // same cell
+	g.Insert(3, geom.Point{X: 0.9, Y: 0.9})
+	if g.NonEmptyCells() != 2 {
+		t.Fatalf("NonEmptyCells = %d, want 2", g.NonEmptyCells())
+	}
+	g.Move(2, geom.Point{X: 0.6, Y: 0.6}) // opens a third cell
+	if g.NonEmptyCells() != 3 {
+		t.Fatalf("NonEmptyCells = %d, want 3", g.NonEmptyCells())
+	}
+	g.Move(2, geom.Point{X: 0.62, Y: 0.6}) // in-cell move
+	if g.NonEmptyCells() != 3 {
+		t.Fatalf("NonEmptyCells = %d after in-cell move, want 3", g.NonEmptyCells())
+	}
+	g.Delete(3)
+	if g.NonEmptyCells() != 2 || g.MeanOccupancy() != 1 {
+		t.Fatalf("NonEmptyCells = %d, MeanOccupancy = %v; want 2, 1",
+			g.NonEmptyCells(), g.MeanOccupancy())
+	}
+	g.Delete(1)
+	g.Delete(2)
+	if g.NonEmptyCells() != 0 || g.MeanOccupancy() != 0 {
+		t.Fatalf("emptied grid: NonEmptyCells = %d, MeanOccupancy = %v",
+			g.NonEmptyCells(), g.MeanOccupancy())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cpm"
 	"cpm/internal/model"
@@ -119,7 +120,12 @@ func (c *conn) serve() {
 func (c *conn) readLoop() error {
 	r := wire.NewReader(c.nc)
 
-	// The handshake comes first: exactly one Hello.
+	// The handshake comes first: exactly one Hello, which must arrive
+	// within HandshakeTimeout — a connection that never speaks would
+	// otherwise pin this goroutine (and its socket) forever.
+	if d := c.srv.opts.HandshakeTimeout; d > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(d))
+	}
 	t, payload, err := r.Next()
 	if err != nil {
 		return err
@@ -130,6 +136,8 @@ func (c *conn) readLoop() error {
 	if err := wire.DecodeHello(payload); err != nil {
 		return err
 	}
+	// Handshake done: established connections may idle indefinitely.
+	c.nc.SetReadDeadline(time.Time{})
 	if !c.send(outFrame{kind: outWelcome}) {
 		return nil
 	}
@@ -356,7 +364,11 @@ func (c *conn) ackErr(reqID uint64, err error) {
 
 // writeLoop owns the socket's send side: it encodes queued frames into one
 // reused buffer — so steady-state event delivery allocates nothing — and
-// coalesces bursts into single writes.
+// coalesces bursts into single writes. Every flush runs under
+// WriteTimeout: a peer with a full TCP window (stalled reader) would
+// otherwise block Write forever, and the send backpressure behind it would
+// wedge the forwarders and the request handler too. On expiry the deferred
+// close tears the whole connection down.
 func (c *conn) writeLoop() {
 	defer c.close()
 	var buf []byte
@@ -373,6 +385,9 @@ func (c *conn) writeLoop() {
 				default:
 					break coalesce
 				}
+			}
+			if d := c.srv.opts.WriteTimeout; d > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(d))
 			}
 			if _, err := c.nc.Write(buf); err != nil {
 				return

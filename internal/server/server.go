@@ -27,6 +27,13 @@
 // so consumers never miss a loss silently; every diff event carries the
 // full current result, so any single event re-syncs them.
 //
+// Backpressure is bounded in time, not just in space: every socket flush
+// runs under Options.WriteTimeout, so a peer that stops draining entirely
+// (full TCP window) gets its connection closed instead of parking the
+// writer — and, transitively, the forwarders and the request handler —
+// forever. Symmetrically, Options.HandshakeTimeout reaps connections that
+// never send their Hello.
+//
 // # Resume
 //
 // A reconnecting subscriber presents its last-seen sequence number per
@@ -43,6 +50,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"cpm"
 	"cpm/internal/model"
@@ -59,6 +67,17 @@ type Options struct {
 	// (default 256). When it fills, backpressure reaches the notify hub,
 	// whose per-subscription policy sheds events.
 	WriteQueue int
+	// WriteTimeout bounds every socket flush (default 10s). A peer that
+	// stops draining its receive buffer would otherwise park the writer
+	// goroutine in Write forever; the resulting send backpressure then
+	// wedges the connection's forwarders and request handler for good.
+	// On expiry the connection is closed. Negative disables the deadline.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the client's Hello frame
+	// (default 10s); it is cleared once the handshake completes. Without
+	// it a connection that never speaks leaks a reader goroutine per
+	// socket indefinitely. Negative disables the deadline.
+	HandshakeTimeout time.Duration
 	// SocketWriteBuffer, when positive, sets each accepted connection's
 	// kernel send-buffer size (SetWriteBuffer). Shrinking it makes
 	// slow-consumer backpressure (and therefore drop/gap behavior)
@@ -72,6 +91,12 @@ type Options struct {
 func (o *Options) defaults() {
 	if o.WriteQueue <= 0 {
 		o.WriteQueue = 256
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
 	}
 }
 

@@ -13,9 +13,14 @@ import (
 
 // startServer serves a fresh monitor on a loopback listener.
 func startServer(t *testing.T, opts cpm.Options) (*Server, string) {
+	return startServerOpts(t, opts, Options{})
+}
+
+// startServerOpts is startServer with explicit server options.
+func startServerOpts(t *testing.T, opts cpm.Options, sopts Options) (*Server, string) {
 	t.Helper()
 	mon := cpm.NewMonitor(opts)
-	s := New(mon, Options{})
+	s := New(mon, sopts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

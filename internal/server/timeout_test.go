@@ -1,0 +1,150 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/internal/wire"
+)
+
+// connCount reads the live-connection count race-free.
+func connCount(s *Server) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// waitConnCount polls until the server's live-connection count reaches
+// want, failing after the deadline.
+func waitConnCount(t *testing.T, s *Server, want int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if connCount(s) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d live connections after %v, want %d", connCount(s), within, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWriteTimeoutDropsStalledReader is the stalled-peer regression test:
+// a subscriber that stops draining its socket fills the TCP window, the
+// writer's next flush blocks, and without a write deadline the writer
+// goroutine — and, through send backpressure, the connection's forwarders
+// and request handler — would be parked forever. With WriteTimeout set the
+// server must instead close the connection shortly after the stall, and
+// the monitor must keep ticking throughout.
+func TestWriteTimeoutDropsStalledReader(t *testing.T) {
+	srv, addr := startServerOpts(t, cpm.Options{GridSize: 16}, Options{
+		WriteQueue:        1,
+		SocketWriteBuffer: 1,
+		WriteTimeout:      200 * time.Millisecond,
+	})
+
+	// Raw dial with a minimal receive buffer, so the stalled window fills
+	// after a few kilobytes instead of the OS default.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(1)
+	}
+	r := wire.NewReader(nc)
+	if _, err := nc.Write(wire.AppendHello(nil)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if typ, _, err := r.Next(); err != nil || typ != wire.FrameWelcome {
+		t.Fatalf("handshake: %v %v", typ, err)
+	}
+
+	// Populate and register a k-32 query, then subscribe with a roomy hub
+	// buffer: every tick pushes a ~400-byte event at this k.
+	const k = 32
+	srv.Locked(func(m *cpm.Monitor) {
+		objs := make(map[cpm.ObjectID]cpm.Point, 64)
+		for i := 0; i < 64; i++ {
+			objs[cpm.ObjectID(i)] = cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+		}
+		m.Bootstrap(objs)
+		if err := m.RegisterQuery(1, cpm.Point{X: 0.5, Y: 0.5}, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := nc.Write(wire.AppendSubscribe(nil, 1, wire.Subscribe{SubID: 1, Buffer: 256})); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := r.Next(); err != nil || typ != wire.FrameAck {
+		t.Fatalf("subscribe ack: %v %v", typ, err)
+	}
+
+	// Stall: stop reading entirely while ticks keep generating events. The
+	// processing loop must never block — delivery loss is the hub's
+	// problem, the jammed socket is the write deadline's.
+	for cycle := 0; cycle < 600; cycle++ {
+		srv.Locked(func(m *cpm.Monitor) {
+			b := cpm.Batch{}
+			for i := 0; i < 64; i++ {
+				old, _ := m.ObjectPosition(cpm.ObjectID(i))
+				to := cpm.Point{
+					X: float64((i+cycle)%8) / 8,
+					Y: float64((i*3+cycle)%16) / 16,
+				}
+				b.Objects = append(b.Objects, cpm.MoveUpdate(cpm.ObjectID(i), old, to))
+			}
+			m.Tick(b)
+		})
+	}
+
+	// The stalled connection must be dropped within roughly WriteTimeout
+	// (generous slack for slow CI runners), not never.
+	waitConnCount(t, srv, 0, 10*time.Second)
+
+	// And the monitor is still serviceable after the drop.
+	srv.Locked(func(m *cpm.Monitor) {
+		if got := len(m.Result(1)); got != k {
+			t.Fatalf("post-drop result has %d neighbors, want %d", got, k)
+		}
+	})
+}
+
+// TestHandshakeTimeoutReapsIdleConn is the never-handshaking-peer
+// regression test: a connection that sends no Hello must be reaped after
+// HandshakeTimeout instead of pinning a reader goroutine (and its socket)
+// forever.
+func TestHandshakeTimeoutReapsIdleConn(t *testing.T) {
+	srv, addr := startServerOpts(t, cpm.Options{GridSize: 16}, Options{
+		HandshakeTimeout: 200 * time.Millisecond,
+	})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Send nothing. The server must close the connection on its own: the
+	// read below unblocks with an error well before its own deadline.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, _, err := wire.NewReader(nc).Next(); err == nil {
+		t.Fatal("server answered a connection that never sent hello")
+	}
+	waitConnCount(t, srv, 0, 10*time.Second)
+
+	// A prompt handshake still works: the deadline is cleared after Hello,
+	// so an established connection may idle past HandshakeTimeout.
+	tc := dialRaw(t, addr)
+	time.Sleep(400 * time.Millisecond) // > HandshakeTimeout, post-handshake
+	tc.write(wire.AppendResultReq(nil, 1, 42))
+	typ, _, err := tc.next()
+	if err != nil || typ != wire.FrameResult {
+		t.Fatalf("idle established connection: %v %v", typ, err)
+	}
+}

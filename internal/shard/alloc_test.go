@@ -29,6 +29,18 @@ func TestSteadyStateAllocs(t *testing.T) {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			w := makeTickWorkload(2048, 64, 8, 8, 0.5, 5)
 			m := shard.NewUnit(shards, 64, core.Options{})
+			// Auto-rebalancing rides along with a band wide enough that the
+			// steady workload never triggers a resize: the per-tick policy
+			// check (occupancy read + hysteresis test) must itself be
+			// allocation-free between rebalances. The trailing Rebalances
+			// assertion turns an unexpected resize into a readable failure
+			// instead of a mysterious alloc count.
+			m.SetAutoRebalance(shard.AutoRebalance{
+				Enabled:              true,
+				TargetObjectsPerCell: 2,
+				CheckEvery:           1,
+				Band:                 4,
+			})
 			w.mount(t, m)
 			// A few standing range queries exercise rangeScan and
 			// noteRangeIfChanged alongside the k-NN path.
@@ -51,6 +63,9 @@ func TestSteadyStateAllocs(t *testing.T) {
 			})
 			if avg != 0 {
 				t.Errorf("steady-state ProcessBatch allocates %.2f/op, want 0", avg)
+			}
+			if got := m.Rebalances(); got != 0 {
+				t.Errorf("steady workload triggered %d rebalances; widen the test band", got)
 			}
 		})
 	}

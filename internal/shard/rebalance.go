@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"math"
+	"sync"
+)
+
+// Coordinated online grid rebalancing.
+//
+// Every shard replicates the grid (object positions must be exact for any
+// query's search), so grid geometry — the cell count, and with it δ — is
+// shared state: the merged result and diff streams are only exact while all
+// replicas agree on it. The monitor therefore owns both the manual resize
+// (Rebalance fans the new size out to every shard engine between cycles)
+// and the automatic policy (maybeRebalance, evaluated at the end of every
+// ProcessBatch, after the worker fan-in barrier — no worker goroutine can
+// be touching an engine while the grids are rebuilt).
+
+// AutoRebalance configures the automatic grid-resizing policy of a
+// monitor. The zero value disables it.
+type AutoRebalance struct {
+	// Enabled switches the policy on.
+	Enabled bool
+	// TargetObjectsPerCell is the occupancy the policy steers toward:
+	// the desired mean number of live objects per non-empty cell (the
+	// paper's cost model trades cell-list scan cost against cells-visited
+	// cost through exactly this density). Default 8.
+	TargetObjectsPerCell float64
+	// CheckEvery is the policy cadence in processing cycles. Default 16.
+	CheckEvery int
+	// Band is the hysteresis factor: a resize triggers only when the
+	// observed occupancy leaves [Target/Band, Target·Band], and the resize
+	// aims back at Target, so small oscillations never thrash the grid.
+	// Default 2 (values <= 1 mean the default).
+	Band float64
+	// MinSize and MaxSize clamp the chosen grid size (cells per
+	// dimension). Defaults 4 and 512.
+	MinSize, MaxSize int
+}
+
+func (rb *AutoRebalance) defaults() {
+	if rb.TargetObjectsPerCell <= 0 {
+		rb.TargetObjectsPerCell = 8
+	}
+	if rb.CheckEvery <= 0 {
+		rb.CheckEvery = 16
+	}
+	if rb.Band <= 1 {
+		rb.Band = 2
+	}
+	if rb.MinSize <= 0 {
+		rb.MinSize = 4
+	}
+	if rb.MaxSize <= 0 {
+		rb.MaxSize = 512
+	}
+	if rb.MaxSize < rb.MinSize {
+		rb.MaxSize = rb.MinSize
+	}
+}
+
+// SetAutoRebalance installs (or disables) the automatic rebalancing
+// policy. Like every other method it must not race a ProcessBatch call.
+func (m *Monitor) SetAutoRebalance(rb AutoRebalance) {
+	rb.defaults()
+	m.rb = rb
+}
+
+// Rebalance re-partitions every shard's grid replica into
+// newSize×newSize cells and reinstalls all query book-keeping, leaving
+// every result untouched (see core.Engine.Rebalance). It runs between
+// cycles — after ProcessBatch returns, the persistent workers are parked
+// on their feed channels, so the engines are exclusively ours — with one
+// goroutine per shard: each replica re-buckets the full object population,
+// so a serial loop would scale the stop-the-world pause linearly with the
+// shard count.
+func (m *Monitor) Rebalance(newSize int) {
+	if len(m.shards) == 1 {
+		m.shards[0].Rebalance(newSize)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(m.shards))
+	for _, e := range m.shards {
+		go func() {
+			defer wg.Done()
+			e.Rebalance(newSize)
+		}()
+	}
+	wg.Wait()
+}
+
+// GridSize returns the current cells-per-dimension of the (agreeing)
+// shard grids — a runtime property once rebalancing is on.
+func (m *Monitor) GridSize() int { return m.shards[0].GridSize() }
+
+// Rebalances returns how many grid resizes the monitor has performed.
+// All replicas resize together, so the first shard's count is the
+// monitor's.
+func (m *Monitor) Rebalances() int64 { return m.shards[0].Rebalances() }
+
+// maybeRebalance runs the policy at a cycle boundary. The occupancy read
+// and the decision are pure arithmetic over two grid counters, so the
+// steady-state (no resize) path allocates nothing.
+func (m *Monitor) maybeRebalance() {
+	if !m.rb.Enabled {
+		return
+	}
+	m.ticks++
+	if m.ticks%int64(m.rb.CheckEvery) != 0 {
+		return
+	}
+	if ns, ok := m.rebalanceTarget(); ok {
+		m.Rebalance(ns)
+	}
+}
+
+// rebalanceTarget evaluates the policy against the first shard's grid
+// replica (all replicas are identical) and returns the new grid size when
+// a resize is due.
+//
+// With mean occupancy L on an S×S grid, the population covers roughly
+// L-proportionally many cells at any resolution, so resizing to
+// S·sqrt(L/Target) lands the occupancy near Target; the hysteresis band
+// around Target keeps the sqrt correction from ping-ponging.
+func (m *Monitor) rebalanceTarget() (int, bool) {
+	g := m.shards[0].Grid()
+	load := g.MeanOccupancy()
+	if load == 0 {
+		return 0, false // empty grid: nothing to steer by
+	}
+	target := m.rb.TargetObjectsPerCell
+	if load <= target*m.rb.Band && load >= target/m.rb.Band {
+		return 0, false
+	}
+	size := g.Size()
+	ns := int(math.Round(float64(size) * math.Sqrt(load/target)))
+	if ns < m.rb.MinSize {
+		ns = m.rb.MinSize
+	}
+	if ns > m.rb.MaxSize {
+		ns = m.rb.MaxSize
+	}
+	if ns == size {
+		return 0, false
+	}
+	return ns, true
+}

@@ -51,6 +51,11 @@ type Monitor struct {
 	// within one cycle.
 	feed []chan model.Batch
 	wg   sync.WaitGroup
+
+	// rb is the auto-rebalancing policy (zero value: disabled); ticks
+	// counts completed ProcessBatch cycles for its check cadence.
+	rb    AutoRebalance
+	ticks int64
 }
 
 // New creates a monitor of n hash-partitioned shards over gridSize×gridSize
@@ -150,6 +155,7 @@ func (m *Monitor) RemoveQuery(id model.QueryID) { m.owner(id).RemoveQuery(id) }
 func (m *Monitor) ProcessBatch(b model.Batch) {
 	if len(m.shards) == 1 {
 		m.shards[0].ProcessBatch(b)
+		m.maybeRebalance()
 		return
 	}
 	if m.feed == nil {
@@ -167,6 +173,7 @@ func (m *Monitor) ProcessBatch(b model.Batch) {
 		ch <- model.Batch{Objects: b.Objects, Queries: m.perShard[i]}
 	}
 	m.wg.Wait()
+	m.maybeRebalance()
 }
 
 // start launches one persistent worker goroutine per shard. The channel
