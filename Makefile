@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke fuzz
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke fuzz
 
 all: build test
 
@@ -18,7 +18,7 @@ test:
 # pub/sub layer (incl. the root package's subscriber stress test), and the
 # network serving layer (wire codec, TCP server, reconnecting client).
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/...
 
 # Host a self-driving CPM monitor on :7845; watch it with
 #   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow
@@ -43,6 +43,24 @@ serve-smoke:
 	/tmp/cpm-smoke-sim -connect 127.0.0.1:17846 -n 2000 -queries 20 -ts 3 -follow -watch 1; \
 	kill $$srv; wait $$srv 2>/dev/null || true; \
 	echo "serve-smoke: ok"
+
+# Open-loop load smoke on loopback: a cpmserver with the metrics endpoint
+# on, a short Poisson burst from cpmload, and a curl of /metrics. Writes
+# LOAD_smoke.json (per-op p50/p99/p999 in the bench-report shape benchdiff
+# gates); CI uploads it as the latency-trajectory artifact.
+load-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/cpm-load-server ./cmd/cpmserver; \
+	$(GO) build -o /tmp/cpm-load-driver ./cmd/cpmload; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	/tmp/cpm-load-server -addr 127.0.0.1:17847 -metrics 127.0.0.1:19100 & srv=$$!; \
+	sleep 1; \
+	/tmp/cpm-load-driver -addr 127.0.0.1:17847 -conns 2 -rate 300 -duration 3s -n 500 -queries 20 -json LOAD_smoke.json -v; \
+	if command -v curl >/dev/null; then \
+		curl -sf 127.0.0.1:19100/metrics | head -5; \
+	fi; \
+	kill $$srv; wait $$srv 2>/dev/null || true; \
+	echo "load-smoke: ok"
 
 # Short fuzz runs over the wire codec (the seed corpus is checked in).
 fuzz:

@@ -99,6 +99,8 @@ type call struct {
 	// Result response (ResultReq only).
 	live bool
 	res  []cpm.Neighbor
+	// Stats response (StatsReq only).
+	stats []wire.Stat
 }
 
 // Client is a connection to a CPM server. Create one with Dial.
@@ -425,6 +427,18 @@ func (c *Client) dispatch(t wire.FrameType, payload []byte) error {
 		cl.res = res
 		close(cl.done)
 
+	case wire.FrameStats:
+		reqID, stats, err := wire.DecodeStats(payload)
+		if err != nil {
+			return err
+		}
+		cl := c.takeCall(reqID)
+		if cl == nil {
+			return nil
+		}
+		cl.stats = stats
+		close(cl.done)
+
 	case wire.FrameEvent:
 		ev, err := wire.DecodeEvent(payload)
 		if err != nil {
@@ -557,6 +571,23 @@ func (c *Client) Result(id cpm.QueryID) ([]cpm.Neighbor, error) {
 		return nil, err
 	}
 	return cl.res, nil
+}
+
+// Stat is one named metric reading returned by ServerStats.
+type Stat = wire.Stat
+
+// ServerStats polls the server's metrics registry: every counter, gauge
+// and histogram percentile the /metrics endpoint exposes, as flat
+// (name, value) pairs in registration order. See docs/METRICS.md for the
+// meaning of each name.
+func (c *Client) ServerStats() ([]Stat, error) {
+	cl, err := c.roundTrip(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendStatsReq(dst, reqID)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl.stats, nil
 }
 
 // Redial drops the current connection, letting the automatic reconnect

@@ -448,3 +448,44 @@ func TestSlowConsumerGapResync(t *testing.T) {
 		}
 	}
 }
+
+// TestServerStats polls the server's metrics registry over the wire and
+// checks the readings reflect the traffic this client generated.
+func TestServerStats(t *testing.T) {
+	_, addr := startServer(t, cpm.Options{GridSize: 16}, server.Options{})
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Bootstrap(map[cpm.ObjectID]cpm.Point{1: {X: 0.3, Y: 0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(1, cpm.Point{X: 0.3, Y: 0.3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Tick(cpm.Batch{}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, s := range stats {
+		byName[s.Name] = s.Value
+	}
+	for name, min := range map[string]int64{
+		"cpm_server_connections_accepted_total": 1,
+		"cpm_monitor_objects":                   1,
+		"cpm_monitor_queries":                   1,
+		"cpm_monitor_cycles_total":              1,
+		"cpm_server_handle_tick_ns_count":       1,
+	} {
+		if v, ok := byName[name]; !ok || v < min {
+			t.Errorf("stat %s = %d (present %v), want >= %d", name, v, ok, min)
+		}
+	}
+}

@@ -1,19 +1,25 @@
-// Command benchdiff compares two cpmbench -json reports and fails on time
-// or allocation regressions — the CI bench-trajectory gate.
+// Command benchdiff compares two cpmbench -json (or cpmload -json) reports
+// and fails on time, allocation or latency-percentile regressions — the CI
+// bench-trajectory and load-SLO gate.
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_prev.json -current BENCH_now.json
 //	benchdiff -baseline old.json -current new.json -threshold 0.25 -summary "$GITHUB_STEP_SUMMARY"
+//	benchdiff -baseline LOAD_prev.json -current LOAD_now.json
 //
 // For every method present in both reports the ns columns (total_ns,
 // ns_per_cycle, register_ns) and the allocation columns (mallocs,
 // alloc_bytes) are compared; any column exceeding the baseline by more
 // than -threshold (default 0.25 = +25%) fails the run with exit code 1,
 // unless the baseline reading is below the metric's noise floor (100µs for
-// timings; 1000 mallocs / 256KiB for allocations). The comparison table is
-// printed to stdout and, with -summary, appended to the given file (pass
-// $GITHUB_STEP_SUMMARY in CI).
+// timings; 1000 mallocs / 256KiB for allocations). Rows produced by
+// cpmload additionally carry per-op latency percentiles (p50_ns, p99_ns,
+// p999_ns) gated the same way — the open-loop SLO trajectory; those
+// columns are skipped on rows that lack them in both reports, so
+// closed-loop benchmark reports keep their historical delta set. The
+// comparison table is printed to stdout and, with -summary, appended to
+// the given file (pass $GITHUB_STEP_SUMMARY in CI).
 //
 // A missing baseline FILE is not an error: on the first CI run on a
 // branch, on forks, and after artifact expiry there is nothing to compare

@@ -1,0 +1,103 @@
+// Command cpmload drives open-loop load against a running cpmserver and
+// reports per-operation end-to-end latency percentiles.
+//
+// It schedules Poisson arrivals at -rate across -conns connections — a mix
+// of batched object-move ticks (remote ingest), empty ticks, ephemeral
+// query registrations and delivery-probe toggles — and measures each
+// operation from its scheduled arrival time, so server stalls surface as
+// queueing latency instead of silently throttling the driver (no
+// coordinated omission). The probe ops additionally measure the push
+// pipeline: the time from a probe object's toggle to the resulting diff
+// arriving on a subscription.
+//
+//	cpmserver -addr :7845 &
+//	cpmload -addr localhost:7845 -rate 500 -duration 10s -json LOAD.json
+//
+// The summary prints one row per op type (ingest, tick, register,
+// deliver) with completed-op counts and p50/p99/p999. With -json the run
+// is written in the BENCH_*.json report shape, so two runs gate against
+// each other exactly like benchmark trajectories:
+//
+//	benchdiff -base LOAD_old.json -current LOAD.json
+//
+// See docs/OPERATIONS.md for how the load harness fits the serving
+// deployment story.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cpm/internal/load"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "cpmserver address to drive (required)")
+		conns    = flag.Int("conns", 4, "concurrent client connections")
+		rate     = flag.Float64("rate", 200, "aggregate scheduled arrival rate (ops/sec)")
+		duration = flag.Duration("duration", 5*time.Second, "scheduling window")
+		maxOps   = flag.Int64("max-ops", 0, "additional cap on scheduled operations (0 = none)")
+		objects  = flag.Int("n", 2000, "bootstrapped object population")
+		queries  = flag.Int("queries", 50, "standing k-NN queries registered before the run")
+		k        = flag.Int("k", 8, "neighbors per standing query")
+		batch    = flag.Int("batch", 16, "object moves per ingest operation")
+		seed     = flag.Int64("seed", 1, "workload and arrival-process seed")
+		jsonPath = flag.String("json", "", "write the run as a bench report to this file")
+		verbose  = flag.Bool("v", false, "log run diagnostics")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "cpmload: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := load.Options{
+		Addr:     *addr,
+		Conns:    *conns,
+		Rate:     *rate,
+		Duration: *duration,
+		MaxOps:   *maxOps,
+		Objects:  *objects,
+		Queries:  *queries,
+		K:        *k,
+		Batch:    *batch,
+		Seed:     *seed,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	res, err := load.Run(opts)
+	if err != nil {
+		log.Fatalf("cpmload: %v", err)
+	}
+
+	rep := res.Report()
+	fmt.Printf("cpmload: %s for %v at %g ops/s over %d conns (errors=%d shed=%d gaps=%d)\n",
+		*addr, res.Elapsed.Round(time.Millisecond), *rate, *conns, res.Errors, res.Shed, res.Gaps)
+	fmt.Printf("%-14s %8s %12s %12s %12s %12s\n", "op", "ops", "mean", "p50", "p99", "p999")
+	for _, m := range rep.Methods {
+		fmt.Printf("%-14s %8d %12v %12v %12v %12v\n", m.Method, m.Ops,
+			time.Duration(m.NsPerCycle), time.Duration(m.P50Ns),
+			time.Duration(m.P99Ns), time.Duration(m.P999Ns))
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("cpmload: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("cpmload: %v", err)
+		}
+	}
+
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -17,7 +17,13 @@
 //	    queries of their own) — a one-process demo of the push pipeline.
 //
 // The monitor can run sharded (-shards) and with online grid rebalancing
-// (-rebalance) exactly like the embedded library.
+// (-rebalance) exactly like the embedded library. With -metrics the server
+// additionally exposes its runtime counters as a plain-text HTTP page
+// ("name value" lines, curl-able; see docs/METRICS.md):
+//
+//	cpmserver -addr :7845 -metrics :9100
+//	curl -s localhost:9100/metrics
+//
 // Stop with SIGINT/SIGTERM; connections drain and the process exits.
 package main
 
@@ -25,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,11 +47,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7845", "listen address")
-		gridSize  = flag.Int("grid", 128, "grid cells per dimension")
-		shards    = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
-		rebalance = flag.Bool("rebalance", false, "auto-rebalance the grid online as object density drifts")
-		verbose   = flag.Bool("v", false, "log connection events")
+		addr        = flag.String("addr", ":7845", "listen address")
+		metricsAddr = flag.String("metrics", "", "serve plain-text metrics over HTTP on this address (empty = off)")
+		gridSize    = flag.Int("grid", 128, "grid cells per dimension")
+		shards      = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
+		rebalance   = flag.Bool("rebalance", false, "auto-rebalance the grid online as object density drifts")
+		verbose     = flag.Bool("v", false, "log connection events")
+
+		writeTimeout     = flag.Duration("write-timeout", 10*time.Second, "per-flush socket write deadline (slow-consumer reap; <0 disables)")
+		handshakeTimeout = flag.Duration("handshake-timeout", 10*time.Second, "deadline for the client's Hello frame (<0 disables)")
 
 		drive    = flag.Bool("drive", false, "self-drive a generated workload instead of waiting for remote ingest")
 		n        = flag.Int("n", 10000, "object population (-drive)")
@@ -65,11 +76,23 @@ func main() {
 		Shards:        bench.ResolveShards(*shards),
 		AutoRebalance: *rebalance,
 	})
-	opts := server.Options{}
+	opts := server.Options{
+		WriteTimeout:     *writeTimeout,
+		HandshakeTimeout: *handshakeTimeout,
+	}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
 	srv := server.New(mon, opts)
+
+	// The startup line carries every resolved option, so operator logs
+	// identify the configuration a running instance was launched with.
+	log.Printf("cpmserver: starting: addr=%s metrics=%s grid=%d shards=%d rebalance=%v write-timeout=%v handshake-timeout=%v drive=%v",
+		*addr, orOff(*metricsAddr), *gridSize, bench.ResolveShards(*shards), *rebalance, *writeTimeout, *handshakeTimeout, *drive)
+
+	if *metricsAddr != "" {
+		go serveMetrics(srv, *metricsAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -89,16 +112,35 @@ func main() {
 		srv.Close()
 	}()
 
-	mode := ""
-	if *rebalance {
-		mode = ", auto-rebalance"
-	}
-	log.Printf("cpmserver: serving CPM monitor (grid %d, shards %d%s) on %s", *gridSize, bench.ResolveShards(*shards), mode, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
 		log.Fatalf("cpmserver: %v", err)
 	}
 	<-done
 	mon.Close()
+}
+
+// orOff renders an optional address for the startup line.
+func orOff(addr string) string {
+	if addr == "" {
+		return "off"
+	}
+	return addr
+}
+
+// serveMetrics exposes the server's registry as a plain-text HTTP page on
+// /metrics (and on /, for curl convenience).
+func serveMetrics(srv *server.Server, addr string) {
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		srv.Metrics().WriteText(w)
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	log.Printf("cpmserver: metrics on http://%s/metrics", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("cpmserver: metrics endpoint: %v", err)
+	}
 }
 
 // driveWorkload bootstraps a generated workload into the served monitor
@@ -139,10 +181,13 @@ func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interv
 		}
 		b := w.Advance()
 		var changed int
+		var cycleNs int64
 		srv.Locked(func(m *cpm.Monitor) {
 			m.Tick(b)
 			changed = len(m.ChangedQueries())
+			cycleNs = m.LastCycleNanos()
 		})
+		srv.ObserveCycle(time.Duration(cycleNs))
 		if cycle%20 == 0 {
 			log.Printf("cpmserver: cycle %d: %d updates, %d results changed", cycle, len(b.Objects), changed)
 		}

@@ -37,6 +37,7 @@ package cpm
 
 import (
 	"errors"
+	"time"
 
 	"cpm/internal/baseline"
 	"cpm/internal/core"
@@ -266,6 +267,11 @@ type Monitor struct {
 	// closed is set by Close: later Subscribe calls get an already-closed
 	// subscription instead of racing the draining hub.
 	closed bool
+	// Cycle accounting, maintained by Tick for observability consumers
+	// (same single-caller contract as everything else on the monitor).
+	cycles      int64
+	cycleNs     int64
+	lastCycleNs int64
 }
 
 // NewMonitor creates a CPM monitor: a single engine, or — with
@@ -365,9 +371,28 @@ func (m *Monitor) RemoveQuery(id QueryID) {
 // Feed at most one update per object per batch (the stream model of the
 // paper); the engine tolerates more but may fall back to re-computation.
 func (m *Monitor) Tick(b Batch) {
+	start := time.Now()
 	m.e.ProcessBatch(b)
 	m.publish()
+	ns := time.Since(start).Nanoseconds()
+	m.cycles++
+	m.cycleNs += ns
+	m.lastCycleNs = ns
 }
+
+// Cycles returns how many Tick cycles the monitor has processed.
+func (m *Monitor) Cycles() int64 { return m.cycles }
+
+// CycleNanos returns the total wall time spent inside Tick, in
+// nanoseconds.
+func (m *Monitor) CycleNanos() int64 { return m.cycleNs }
+
+// LastCycleNanos returns the wall time of the most recent Tick, in
+// nanoseconds (0 before the first).
+func (m *Monitor) LastCycleNanos() int64 { return m.lastCycleNs }
+
+// QueryCount returns the number of currently installed queries.
+func (m *Monitor) QueryCount() int { return len(m.e.QueryIDs()) }
 
 // InsertObject adds a single new object immediately (a one-update cycle).
 func (m *Monitor) InsertObject(id ObjectID, p Point) {

@@ -49,21 +49,29 @@ type Comparison struct {
 }
 
 // gatedMetric is one gated column of MethodResult with its noise floor.
+// Optional columns only exist on some rows (the latency percentiles of
+// open-loop load runs); they are skipped when absent from both reports,
+// so closed-loop rows keep their historical delta set.
 type gatedMetric struct {
-	Name  string
-	Value int64
-	Floor int64
+	Name     string
+	Value    int64
+	Floor    int64
+	Optional bool
 }
 
 // gatedMetrics are the columns of MethodResult the gate watches: the ns
-// timings plus the allocation counters, each with its own noise floor.
+// timings plus the allocation counters, each with its own noise floor,
+// and — on load rows — the per-op latency SLO percentiles.
 func gatedMetrics(r MethodResult) []gatedMetric {
 	return []gatedMetric{
-		{"total_ns", r.TotalNs, NoiseFloorNs},
-		{"ns_per_cycle", r.NsPerCycle, NoiseFloorNs},
-		{"register_ns", r.RegisterNs, NoiseFloorNs},
-		{"mallocs", int64(r.Mallocs), NoiseFloorMallocs},
-		{"alloc_bytes", int64(r.AllocBytes), NoiseFloorAllocBytes},
+		{"total_ns", r.TotalNs, NoiseFloorNs, false},
+		{"ns_per_cycle", r.NsPerCycle, NoiseFloorNs, false},
+		{"register_ns", r.RegisterNs, NoiseFloorNs, false},
+		{"mallocs", int64(r.Mallocs), NoiseFloorMallocs, false},
+		{"alloc_bytes", int64(r.AllocBytes), NoiseFloorAllocBytes, false},
+		{"p50_ns", r.P50Ns, NoiseFloorNs, true},
+		{"p99_ns", r.P99Ns, NoiseFloorNs, true},
+		{"p999_ns", r.P999Ns, NoiseFloorNs, true},
 	}
 }
 
@@ -87,6 +95,9 @@ func Compare(base, cur Report, threshold float64) Comparison {
 		}
 		bm, cm := gatedMetrics(b), gatedMetrics(m)
 		for i := range bm {
+			if bm[i].Optional && bm[i].Value == 0 && cm[i].Value == 0 {
+				continue // column not recorded on this row in either report
+			}
 			d := Delta{
 				Method:  m.Method,
 				Metric:  bm[i].Name,

@@ -152,3 +152,74 @@ func TestReadReportRoundTrip(t *testing.T) {
 		t.Fatal("missing file read succeeded")
 	}
 }
+
+func reportWithLatency(p99 int64) Report {
+	r := Report{Scale: 0.01}
+	r.Methods = append(r.Methods, MethodResult{
+		Method: "load-ingest",
+		Ops:    10_000,
+		P50Ns:  p99 / 4,
+		P99Ns:  p99,
+		P999Ns: p99 * 2,
+	})
+	return r
+}
+
+// TestCompareLatencyGate: open-loop load rows carry latency percentiles,
+// and the gate treats a p99 blow-up like any other time regression.
+func TestCompareLatencyGate(t *testing.T) {
+	base := reportWithLatency(2_000_000)
+	cur := reportWithLatency(4_000_000) // p99 doubled
+	c := Compare(base, cur, 0.25)
+	if !c.Regressed() {
+		t.Fatal("doubled p99 not detected")
+	}
+	var flagged []string
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			flagged = append(flagged, d.Metric)
+		}
+	}
+	for _, m := range flagged {
+		if m != "p50_ns" && m != "p99_ns" && m != "p999_ns" {
+			t.Fatalf("non-latency metric flagged: %s", m)
+		}
+	}
+	if len(flagged) == 0 {
+		t.Fatal("no latency metric flagged")
+	}
+	if !strings.Contains(c.Markdown(), "p99_ns") {
+		t.Fatalf("markdown missing latency column:\n%s", c.Markdown())
+	}
+}
+
+// TestCompareLatencySkippedWhenAbsent: closed-loop rows have no latency
+// columns; comparing two such reports must not produce latency deltas (or
+// spurious regressions against a zero baseline).
+func TestCompareLatencySkippedWhenAbsent(t *testing.T) {
+	base := reportWith(map[string]int64{"CPM": 10_000_000})
+	cur := reportWith(map[string]int64{"CPM": 11_000_000})
+	c := Compare(base, cur, 0.25)
+	for _, d := range c.Deltas {
+		switch d.Metric {
+		case "p50_ns", "p99_ns", "p999_ns":
+			t.Fatalf("latency delta emitted for closed-loop row: %+v", d)
+		}
+	}
+	// A latency column appearing on one side only still shows up (ratio
+	// n/a) rather than being silently dropped.
+	cur.Methods[0].P99Ns = 5_000_000
+	c = Compare(base, cur, 0.25)
+	found := false
+	for _, d := range c.Deltas {
+		if d.Metric == "p99_ns" {
+			found = true
+			if d.Regressed {
+				t.Fatalf("new latency column gated against zero baseline: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("newly recorded latency column missing from deltas")
+	}
+}

@@ -26,6 +26,16 @@ type MethodResult struct {
 	MemoryUnits  int64  `json:"memory_units"`
 	Queries      int    `json:"queries"`
 	Timestamps   int    `json:"timestamps"`
+
+	// Latency-distribution columns, set by open-loop load runs
+	// (cmd/cpmload): per-op end-to-end latency percentiles and the number
+	// of completed operations. Zero (and omitted) for closed-loop
+	// benchmark rows, where per-op latency is not measured; the comparison
+	// gate skips them when absent from both reports.
+	Ops    int64 `json:"ops,omitempty"`
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
 }
 
 // Report is the top-level structure of cpmbench's -json output.

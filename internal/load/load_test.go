@@ -1,0 +1,120 @@
+package load
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/internal/bench"
+	"cpm/internal/server"
+)
+
+// startServer brings up an in-process server on a loopback port.
+func startServer(t *testing.T) string {
+	t.Helper()
+	mon := cpm.NewMonitor(cpm.Options{GridSize: 32})
+	srv := server.New(mon, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		mon.Close()
+	})
+	return ln.Addr().String()
+}
+
+// TestLoopbackSmoke runs a short open-loop burst against an in-process
+// server and checks every op type completed and produced a well-formed
+// report.
+func TestLoopbackSmoke(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Options{
+		Addr:     addr,
+		Conns:    2,
+		Rate:     400,
+		Duration: 1200 * time.Millisecond,
+		Objects:  300,
+		Queries:  10,
+		Batch:    4,
+		Seed:     7,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Errorf("load run recorded %d op errors", res.Errors)
+	}
+	counts := map[string]int64{
+		"ingest":   res.Ingest.Count(),
+		"tick":     res.Tick.Count(),
+		"register": res.Register.Count(),
+		"deliver":  res.Deliver.Count(),
+	}
+	for name, n := range counts {
+		if n == 0 {
+			t.Errorf("no %s operations completed", name)
+		}
+	}
+
+	rep := res.Report()
+	if len(rep.Methods) != 4 {
+		t.Fatalf("report has %d method rows, want 4", len(rep.Methods))
+	}
+	for _, m := range rep.Methods {
+		if m.Ops == 0 {
+			t.Errorf("%s: zero ops in report", m.Method)
+			continue
+		}
+		if m.P50Ns <= 0 || m.P99Ns < m.P50Ns || m.P999Ns < m.P99Ns {
+			t.Errorf("%s: implausible percentiles p50=%d p99=%d p999=%d",
+				m.Method, m.P50Ns, m.P99Ns, m.P999Ns)
+		}
+		if m.TotalNs <= 0 || m.NsPerCycle <= 0 {
+			t.Errorf("%s: missing totals: total_ns=%d ns_per_op=%d", m.Method, m.TotalNs, m.NsPerCycle)
+		}
+	}
+
+	// The report must survive the BENCH_*.json round trip benchdiff reads.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bench.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Methods) != 4 || back.Methods[0].P99Ns != rep.Methods[0].P99Ns {
+		t.Fatalf("report did not round-trip through JSON: %+v", back)
+	}
+
+	// And Compare must gate its latency columns: doubling p99 regresses.
+	worse := rep
+	worse.Methods = append([]bench.MethodResult(nil), rep.Methods...)
+	for i := range worse.Methods {
+		worse.Methods[i].P99Ns *= 100
+		worse.Methods[i].P999Ns *= 100
+	}
+	cmp := bench.Compare(rep, worse, 0.25)
+	regressed := false
+	for _, d := range cmp.Deltas {
+		if d.Regressed && d.Metric == "p99_ns" {
+			regressed = true
+		}
+	}
+	if !regressed {
+		t.Errorf("100x p99 latency did not trip the gate; deltas: %+v", cmp.Deltas)
+	}
+}
+
+// TestRunRequiresAddr pins the one required option.
+func TestRunRequiresAddr(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("Run without Addr succeeded")
+	}
+}

@@ -1,0 +1,291 @@
+// Package metrics is the measurement plane of the CPM serving layer:
+// atomic counters, gauges and fixed-bucket latency histograms whose record
+// path performs no heap allocation — so the serving hot paths (and
+// TestSteadyStateAllocs) can record without disturbing what they measure —
+// plus a Registry that names every instrument and renders one plain-text
+// exposition page (the /metrics endpoint of cmd/cpmserver) or a flat
+// []Stat snapshot (the wire Stats frame).
+//
+// # Instruments
+//
+// Counter is a monotonically increasing int64 (events, frames, drops).
+// Gauge is a settable int64 (active connections). GaugeFunc reads its
+// value from a callback at collection time, for state owned elsewhere
+// (object count, grid size). Histogram records durations into fixed
+// power-of-two buckets split four ways (≈±12.5% value resolution) and
+// extracts p50/p99/p999 on demand; Observe is two atomic adds and one
+// atomic increment, nothing more.
+//
+// # Exposition format
+//
+// WriteText emits one "name value" line per stat in registration order,
+// integers only; histograms expand to name_count, name_sum_ns, name_p50_ns,
+// name_p99_ns and name_p999_ns. The format is trivially scrapable
+// (curl + awk) and stable: docs/METRICS.md documents every base name, and
+// a test cross-checks that table against the registry.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a caller bug; counters only grow).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout: values 0–7 ns get one bucket each; every
+// power-of-two octave above that is split into 4 linear sub-buckets, so
+// any recorded duration lands in a bucket whose width is at most 1/4 of
+// its magnitude (≈±12.5% quantile resolution). 8 + 61*4 buckets cover the
+// full non-negative int64 nanosecond range with no overflow bucket.
+const (
+	histDirect  = 8 // values < 8ns map index == value
+	histBuckets = histDirect + (64-3)*4
+)
+
+// Histogram records a latency distribution in fixed buckets with an
+// allocation-free, lock-free Observe and on-demand quantile extraction.
+// The zero value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < histDirect {
+		return int(ns)
+	}
+	e := bits.Len64(uint64(ns)) // 2^(e-1) <= ns < 2^e, e >= 4
+	return histDirect + (e-4)*4 + int((ns>>(e-3))&3)
+}
+
+// bucketMid returns a representative value (the bucket midpoint) for a
+// bucket index, used when interpolating quantiles.
+func bucketMid(i int) int64 {
+	if i < histDirect {
+		return int64(i)
+	}
+	i -= histDirect
+	e := i/4 + 4
+	sub := int64(i % 4)
+	lo := int64(1)<<(e-1) + sub<<(e-3)
+	return lo + int64(1)<<(e-3)/2
+}
+
+// Observe records one duration. Negative durations clamp to zero. The
+// record path is allocation-free: two atomic adds and one atomic
+// increment.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// ObserveSince is Observe(time.Since(start)) — the usual call site shape.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns how many durations were recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNs returns the total recorded nanoseconds.
+func (h *Histogram) SumNs() int64 { return h.sum.Load() }
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) in
+// nanoseconds: the midpoint of the bucket holding the q·count-th recorded
+// value (resolution ≈±12.5%). It returns 0 when nothing was recorded.
+// Concurrent Observes may or may not be included; each bucket is read
+// atomically, so the result is always a plausible historical state.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// Stat is one named integer reading — the flat unit of both the text
+// exposition and the wire Stats frame.
+type Stat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// kind discriminates registry entries.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// entry is one registered instrument.
+type entry struct {
+	name string
+	kind kind
+	c    *Counter
+	g    *Gauge
+	f    func() int64
+	h    *Histogram
+}
+
+// Registry names instruments and renders them. Registration happens at
+// construction time (not on hot paths); collection (Snapshot, WriteText)
+// may allocate. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	names   map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// add registers one entry, panicking on a duplicate name: metric names are
+// compile-time constants, so a collision is a programming error worth
+// failing loudly on.
+func (r *Registry) add(e entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[e.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", e.name))
+	}
+	r.names[e.name] = true
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.add(entry{name: name, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.add(entry{name: name, kind: kindGauge, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from f at collection
+// time — for state owned by another component (an object count, a grid
+// size). f must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	r.add(entry{name: name, kind: kindGaugeFunc, f: f})
+}
+
+// Histogram registers and returns a new latency histogram. Its exposition
+// expands to name_count, name_sum_ns, name_p50_ns, name_p99_ns and
+// name_p999_ns.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.add(entry{name: name, kind: kindHistogram, h: h})
+	return h
+}
+
+// Names returns every registered base name, in registration order — the
+// set docs/METRICS.md must document (histograms count as one name; their
+// derived _count/_p99… stats are implied).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Snapshot collects every stat as flat (name, value) pairs, histograms
+// expanded. It is the payload of the wire Stats frame.
+func (r *Registry) Snapshot() []Stat {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	out := make([]Stat, 0, len(entries)+4*4)
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out = append(out, Stat{e.name, e.c.Load()})
+		case kindGauge:
+			out = append(out, Stat{e.name, e.g.Load()})
+		case kindGaugeFunc:
+			out = append(out, Stat{e.name, e.f()})
+		case kindHistogram:
+			out = append(out,
+				Stat{e.name + "_count", e.h.Count()},
+				Stat{e.name + "_sum_ns", e.h.SumNs()},
+				Stat{e.name + "_p50_ns", e.h.Quantile(0.50)},
+				Stat{e.name + "_p99_ns", e.h.Quantile(0.99)},
+				Stat{e.name + "_p999_ns", e.h.Quantile(0.999)},
+			)
+		}
+	}
+	return out
+}
+
+// WriteText renders the plain-text exposition page: one "name value" line
+// per stat, in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

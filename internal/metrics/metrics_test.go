@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMonotone verifies the bucket mapping is monotone and that
+// every bucket's representative midpoint actually falls in the bucket.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1e6, 1e9, math.MaxInt64} {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", ns, i, prev)
+		}
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", ns, i)
+		}
+		prev = i
+	}
+	// Midpoint lands back in its own bucket for every bucket.
+	for i := 0; i < histBuckets; i++ {
+		mid := bucketMid(i)
+		if mid < 0 {
+			// Top buckets overflow int64 midpoints; only reachable for
+			// durations near MaxInt64 ns (~292 years), ignore.
+			continue
+		}
+		if got := bucketIndex(mid); got != i {
+			t.Fatalf("bucketIndex(bucketMid(%d)=%d) = %d", i, mid, got)
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// extracted percentiles are within the documented ±12.5% resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations: 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want int64 // exact value in ns
+	}{
+		{0.50, 500_000},
+		{0.99, 990_000},
+		{0.999, 999_000},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := int64(float64(c.want) * 0.85)
+		hi := int64(float64(c.want) * 1.15)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %d ns, want within [%d, %d]", c.q, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	h.Observe(-time.Second) // clamps to 0
+	if h.Count() != 1 || h.SumNs() != 0 {
+		t.Fatalf("negative observe: count=%d sum=%d", h.Count(), h.SumNs())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile after clamped observe = %d, want 0", got)
+	}
+}
+
+// TestObserveAllocs pins the record path at zero allocations — the whole
+// point of the fixed-bucket design: hot paths can record without heap
+// traffic (and without breaking the engine's own alloc gates).
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123 * time.Microsecond)
+		h.ObserveSince(start)
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-2)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestRegistrySnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_frames_total")
+	g := r.Gauge("test_connections_active")
+	r.GaugeFunc("test_objects", func() int64 { return 42 })
+	h := r.Histogram("test_handle_ns")
+
+	c.Add(5)
+	g.Set(3)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+
+	names := r.Names()
+	wantNames := []string{"test_frames_total", "test_connections_active", "test_objects", "test_handle_ns"}
+	if fmt.Sprint(names) != fmt.Sprint(wantNames) {
+		t.Fatalf("Names = %v, want %v", names, wantNames)
+	}
+
+	stats := r.Snapshot()
+	byName := map[string]int64{}
+	for _, s := range stats {
+		byName[s.Name] = s.Value
+	}
+	if byName["test_frames_total"] != 5 {
+		t.Errorf("counter = %d, want 5", byName["test_frames_total"])
+	}
+	if byName["test_connections_active"] != 3 {
+		t.Errorf("gauge = %d, want 3", byName["test_connections_active"])
+	}
+	if byName["test_objects"] != 42 {
+		t.Errorf("gaugefunc = %d, want 42", byName["test_objects"])
+	}
+	if byName["test_handle_ns_count"] != 100 {
+		t.Errorf("hist count = %d, want 100", byName["test_handle_ns_count"])
+	}
+	for _, suffix := range []string{"_p50_ns", "_p99_ns", "_p999_ns"} {
+		v := byName["test_handle_ns"+suffix]
+		if v < 800_000 || v > 1_200_000 {
+			t.Errorf("hist %s = %d, want ~1ms", suffix, v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "test_frames_total 5\n") {
+		t.Errorf("text missing counter line:\n%s", text)
+	}
+	if !strings.Contains(text, "test_handle_ns_count 100\n") {
+		t.Errorf("text missing histogram count line:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup")
+}

@@ -22,6 +22,7 @@ const (
 	outEvent
 	outSnapshot
 	outGap
+	outStats
 )
 
 // outFrame is one queued outbound frame. A single struct (instead of
@@ -39,6 +40,7 @@ type outFrame struct {
 	errs  string
 	diff  model.ResultDiff
 	res   []model.Neighbor
+	stats []wire.Stat
 }
 
 // conn is one client connection: a reader goroutine executing requests, a
@@ -81,6 +83,7 @@ func (c *conn) close() {
 		for _, sub := range subs {
 			sub.Close()
 		}
+		c.srv.met.subsActive.Add(-int64(len(subs)))
 	})
 }
 
@@ -111,7 +114,13 @@ func (c *conn) serve() {
 	// Close before waiting: the writer (and the forwarders) exit via done.
 	c.close()
 	wg.Wait()
+	c.srv.met.connsActive.Add(-1)
+	c.srv.met.connsClosed.Inc()
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			c.srv.met.protocolErrors.Inc()
+		}
 		c.srv.logf("server: %s: %v", c.nc.RemoteAddr(), err)
 	}
 }
@@ -128,8 +137,13 @@ func (c *conn) readLoop() error {
 	}
 	t, payload, err := r.Next()
 	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			c.srv.met.handshakeTimeouts.Inc()
+		}
 		return err
 	}
+	c.srv.met.framesIn.Inc()
 	if t != wire.FrameHello {
 		return errors.New("first frame is not hello")
 	}
@@ -148,6 +162,7 @@ func (c *conn) readLoop() error {
 		if err != nil {
 			return err
 		}
+		c.srv.met.framesIn.Inc()
 		if err := c.handle(t, payload); err != nil {
 			return err
 		}
@@ -169,6 +184,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			m[o.ID] = o.Pos
 		}
 		errMsg := ""
+		start := time.Now()
 		func() {
 			// Bootstrap panics on a second call by contract; a remote
 			// client must not be able to crash the server with it.
@@ -181,6 +197,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			defer s.monMu.Unlock()
 			s.mon.Bootstrap(m)
 		}()
+		s.met.handleBootstrap.ObserveSince(start)
 		c.ack(reqID, errMsg)
 
 	case wire.FrameTick:
@@ -188,9 +205,13 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		s.monMu.Lock()
 		s.mon.Tick(b)
+		cycleNs := s.mon.LastCycleNanos()
 		s.monMu.Unlock()
+		s.met.handleTick.ObserveSince(start)
+		s.met.cycle.Observe(time.Duration(cycleNs))
 		c.ack(reqID, "")
 
 	case wire.FrameRegister:
@@ -198,9 +219,11 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		s.monMu.Lock()
 		rerr := s.register(reg)
 		s.monMu.Unlock()
+		s.met.handleRegister.ObserveSince(start)
 		c.ackErr(reqID, rerr)
 
 	case wire.FrameMoveQuery:
@@ -228,9 +251,11 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		s.monMu.Lock()
 		snap := s.mon.Snapshot(id)
 		s.monMu.Unlock()
+		s.met.handleResult.ObserveSince(start)
 		c.send(outFrame{kind: outResult, reqID: reqID, query: id, live: snap[0].Live, res: snap[0].Result})
 
 	case wire.FrameSubscribe:
@@ -238,7 +263,17 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		return c.subscribe(reqID, sub)
+		start := time.Now()
+		serr := c.subscribe(reqID, sub)
+		s.met.handleSubscribe.ObserveSince(start)
+		return serr
+
+	case wire.FrameStatsReq:
+		reqID, err := wire.DecodeStatsReq(payload)
+		if err != nil {
+			return err
+		}
+		c.send(outFrame{kind: outStats, reqID: reqID, stats: s.met.snapshotWire()})
 
 	case wire.FrameUnsubscribe:
 		reqID, subID, err := wire.DecodeUnsubscribe(payload)
@@ -254,6 +289,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			break
 		}
 		sub.Close() // the forwarder exits when the events channel closes
+		s.met.subsActive.Add(-1)
 		c.ack(reqID, "")
 
 	default:
@@ -298,6 +334,8 @@ func (c *conn) subscribe(reqID uint64, sub wire.Subscribe) error {
 	}
 	c.subs[sub.SubID] = nsub
 	c.mu.Unlock()
+	s.met.subscribes.Inc()
+	s.met.subsActive.Add(1)
 
 	c.ack(reqID, "")
 	if reset {
@@ -337,6 +375,11 @@ func (c *conn) forward(subID uint32, sub *cpm.Subscription) {
 				return
 			}
 			if ev.Seq != last+1 {
+				// The hub shed events past this consumer: the sequence
+				// jump is exactly how many were lost.
+				if ev.Seq > last+1 {
+					c.srv.met.hubDropped.Add(int64(ev.Seq - last - 1))
+				}
 				if !c.send(outFrame{kind: outGap, subID: subID, from: last, to: ev.Seq}) {
 					return
 				}
@@ -371,16 +414,19 @@ func (c *conn) ackErr(reqID uint64, err error) {
 // close tears the whole connection down.
 func (c *conn) writeLoop() {
 	defer c.close()
+	met := c.srv.met
 	var buf []byte
 	for {
 		select {
 		case f := <-c.out:
+			c.countOut(f)
 			buf = appendOut(buf[:0], f)
 			// Coalesce whatever else is already queued into this write.
 		coalesce:
 			for len(buf) < 1<<16 {
 				select {
 				case g := <-c.out:
+					c.countOut(g)
 					buf = appendOut(buf, g)
 				default:
 					break coalesce
@@ -390,11 +436,27 @@ func (c *conn) writeLoop() {
 				c.nc.SetWriteDeadline(time.Now().Add(d))
 			}
 			if _, err := c.nc.Write(buf); err != nil {
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					met.writeTimeouts.Inc()
+				}
 				return
 			}
 		case <-c.done:
 			return
 		}
+	}
+}
+
+// countOut attributes one outbound frame to the frame/event/gap counters.
+func (c *conn) countOut(f outFrame) {
+	met := c.srv.met
+	met.framesOut.Inc()
+	switch f.kind {
+	case outEvent:
+		met.eventsOut.Inc()
+	case outGap:
+		met.gapFrames.Inc()
 	}
 }
 
@@ -415,6 +477,8 @@ func appendOut(buf []byte, f outFrame) []byte {
 		})
 	case outGap:
 		return wire.AppendGap(buf, wire.Gap{SubID: f.subID, From: f.from, To: f.to})
+	case outStats:
+		return wire.AppendStats(buf, f.reqID, f.stats)
 	default:
 		return buf
 	}

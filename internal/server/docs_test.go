@@ -1,0 +1,46 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"cpm"
+)
+
+// TestMetricsDocsComplete keeps docs/METRICS.md honest: every metric the
+// registry exposes must appear in the reference table, and the table must
+// not document metrics that no longer exist. Only table rows are parsed
+// (lines starting "| `cpm_"), so prose may mention expanded histogram
+// names (foo_ns_p99_ns) freely.
+func TestMetricsDocsComplete(t *testing.T) {
+	data, err := os.ReadFile("../../docs/METRICS.md")
+	if err != nil {
+		t.Fatalf("docs/METRICS.md unreadable: %v", err)
+	}
+	row := regexp.MustCompile("(?m)^\\| `(cpm_[a-z0-9_]+)`")
+	documented := map[string]bool{}
+	for _, m := range row.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric rows found in docs/METRICS.md")
+	}
+
+	s, _ := startServer(t, cpm.Options{GridSize: 16})
+	live := map[string]bool{}
+	for _, name := range s.Metrics().Names() {
+		live[name] = true
+	}
+
+	for name := range live {
+		if !documented[name] {
+			t.Errorf("metric %s exists but is not documented in docs/METRICS.md", name)
+		}
+	}
+	for name := range documented {
+		if !live[name] {
+			t.Errorf("docs/METRICS.md documents %s, which no registry exposes", name)
+		}
+	}
+}

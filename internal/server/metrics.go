@@ -1,0 +1,104 @@
+package server
+
+import (
+	"time"
+
+	"cpm/internal/metrics"
+	"cpm/internal/wire"
+)
+
+// serverMetrics bundles every instrument the server records into. All
+// fields are registered on one registry at construction; the names (and
+// their meanings) are documented in docs/METRICS.md, and a test
+// cross-checks that table against Registry.Names.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	connsAccepted     *metrics.Counter
+	connsActive       *metrics.Gauge
+	connsClosed       *metrics.Counter
+	handshakeTimeouts *metrics.Counter
+	writeTimeouts     *metrics.Counter
+	protocolErrors    *metrics.Counter
+
+	framesIn   *metrics.Counter
+	framesOut  *metrics.Counter
+	eventsOut  *metrics.Counter
+	gapFrames  *metrics.Counter
+	hubDropped *metrics.Counter
+
+	subscribes *metrics.Counter
+	subsActive *metrics.Gauge
+
+	handleBootstrap *metrics.Histogram
+	handleTick      *metrics.Histogram
+	handleRegister  *metrics.Histogram
+	handleResult    *metrics.Histogram
+	handleSubscribe *metrics.Histogram
+
+	cycle *metrics.Histogram
+}
+
+// newServerMetrics builds the registry. Monitor-state gauges read through
+// s.Locked at collection time, so a scrape sees a cycle-consistent view
+// without the hot path paying anything for it.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:               reg,
+		connsAccepted:     reg.Counter("cpm_server_connections_accepted_total"),
+		connsActive:       reg.Gauge("cpm_server_connections_active"),
+		connsClosed:       reg.Counter("cpm_server_connections_closed_total"),
+		handshakeTimeouts: reg.Counter("cpm_server_handshake_timeouts_total"),
+		writeTimeouts:     reg.Counter("cpm_server_write_timeouts_total"),
+		protocolErrors:    reg.Counter("cpm_server_protocol_errors_total"),
+		framesIn:          reg.Counter("cpm_server_frames_in_total"),
+		framesOut:         reg.Counter("cpm_server_frames_out_total"),
+		eventsOut:         reg.Counter("cpm_server_events_out_total"),
+		gapFrames:         reg.Counter("cpm_server_gap_frames_total"),
+		hubDropped:        reg.Counter("cpm_server_hub_dropped_total"),
+		subscribes:        reg.Counter("cpm_server_subscribes_total"),
+		subsActive:        reg.Gauge("cpm_server_subscriptions_active"),
+		handleBootstrap:   reg.Histogram("cpm_server_handle_bootstrap_ns"),
+		handleTick:        reg.Histogram("cpm_server_handle_tick_ns"),
+		handleRegister:    reg.Histogram("cpm_server_handle_register_ns"),
+		handleResult:      reg.Histogram("cpm_server_handle_result_ns"),
+		handleSubscribe:   reg.Histogram("cpm_server_handle_subscribe_ns"),
+		cycle:             reg.Histogram("cpm_monitor_cycle_ns"),
+	}
+	monGauge := func(name string, read func() int64) {
+		reg.GaugeFunc(name, func() int64 {
+			s.monMu.Lock()
+			defer s.monMu.Unlock()
+			return read()
+		})
+	}
+	monGauge("cpm_monitor_cycles_total", func() int64 { return s.mon.Cycles() })
+	monGauge("cpm_monitor_objects", func() int64 { return int64(s.mon.ObjectCount()) })
+	monGauge("cpm_monitor_queries", func() int64 { return int64(s.mon.QueryCount()) })
+	monGauge("cpm_monitor_grid_size", func() int64 { return int64(s.mon.GridSize()) })
+	monGauge("cpm_monitor_rebalances_total", func() int64 { return s.mon.Rebalances() })
+	monGauge("cpm_monitor_objects_scanned_total", func() int64 { return s.mon.Stats().ObjectsProcessed })
+	monGauge("cpm_monitor_invalid_updates_total", func() int64 { return s.mon.InvalidUpdates() })
+	return m
+}
+
+// snapshotWire collects the registry as wire stats for a Stats frame.
+func (m *serverMetrics) snapshotWire() []wire.Stat {
+	snap := m.reg.Snapshot()
+	out := make([]wire.Stat, len(snap))
+	for i, s := range snap {
+		out[i] = wire.Stat{Name: s.Name, Value: s.Value}
+	}
+	return out
+}
+
+// Metrics returns the server's metrics registry — the backing store of
+// the /metrics endpoint (cmd/cpmserver) and the wire Stats frame. Callers
+// must treat it as read-only.
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
+
+// ObserveCycle records one processing-cycle duration into the
+// cpm_monitor_cycle_ns histogram — the hook for in-process drivers that
+// tick the monitor through Locked (network ticks record themselves).
+func (s *Server) ObserveCycle(d time.Duration) { s.met.cycle.Observe(d) }

@@ -104,6 +104,7 @@ func (o *Options) defaults() {
 type Server struct {
 	opts Options
 	mon  *cpm.Monitor
+	met  *serverMetrics
 
 	// monMu serializes all monitor access: connection handlers, Locked.
 	monMu sync.Mutex
@@ -120,11 +121,13 @@ type Server struct {
 // access must go through Locked once Serve has started.
 func New(mon *cpm.Monitor, opts Options) *Server {
 	opts.defaults()
-	return &Server{
+	s := &Server{
 		opts:  opts,
 		mon:   mon,
 		conns: make(map[*conn]struct{}),
 	}
+	s.met = newServerMetrics(s)
+	return s
 }
 
 // Locked runs f with exclusive access to the served monitor — the hook for
@@ -173,6 +176,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.met.connsAccepted.Inc()
+		s.met.connsActive.Add(1)
 		go func() {
 			defer s.wg.Done()
 			c.serve()

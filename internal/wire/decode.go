@@ -636,6 +636,42 @@ func DecodeGap(p []byte) (g Gap, err error) {
 	return g, d.done()
 }
 
+// maxStatName caps the metric name length a Stats frame may carry.
+const maxStatName = 256
+
+// DecodeStatsReq parses a metrics-poll request.
+func DecodeStatsReq(p []byte) (reqID uint64, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, err
+	}
+	return reqID, d.done()
+}
+
+// DecodeStats parses the answer to a StatsReq.
+func DecodeStats(p []byte) (reqID uint64, stats []Stat, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	n, err := d.count(2) // 1-byte name length + 1-byte value varint
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 0 {
+		stats = make([]Stat, n)
+		for i := range stats {
+			if stats[i].Name, err = d.string(maxStatName); err != nil {
+				return 0, nil, err
+			}
+			if stats[i].Value, err = d.varint(); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return reqID, stats, d.done()
+}
+
 // ParseFrame splits the first complete frame off b: it validates the
 // header and returns the frame type, its payload and the bytes following
 // the frame. Incomplete input is ErrTruncated — a stream reader retries

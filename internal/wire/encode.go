@@ -274,6 +274,28 @@ func AppendSnapshot(dst []byte, s Snapshot) []byte {
 	return endFrame(dst, start)
 }
 
+// AppendStatsReq appends a metrics-poll request.
+func AppendStatsReq(dst []byte, reqID uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameStatsReq)
+	dst = binary.AppendUvarint(dst, reqID)
+	return endFrame(dst, start)
+}
+
+// AppendStats appends the answer to a StatsReq: a flat list of named
+// counter readings.
+func AppendStats(dst []byte, reqID uint64, stats []Stat) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameStats)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, uint64(len(stats)))
+	for _, s := range stats {
+		dst = appendString(dst, s.Name)
+		dst = binary.AppendVarint(dst, s.Value)
+	}
+	return endFrame(dst, start)
+}
+
 // AppendGap appends a lost-events marker frame.
 func AppendGap(dst []byte, g Gap) []byte {
 	start := len(dst)

@@ -134,6 +134,18 @@ func reencode(t FrameType, p []byte) (frame []byte, ok bool) {
 			return nil, false
 		}
 		frame = AppendGap(nil, g)
+	case FrameStatsReq:
+		req, err := DecodeStatsReq(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendStatsReq(nil, req)
+	case FrameStats:
+		req, stats, err := DecodeStats(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendStats(nil, req, stats)
 	default:
 		return nil, false
 	}

@@ -107,6 +107,11 @@ const (
 	// FrameGap marks lost events: the stream resumed after a drop or a
 	// reconnect, and the consumer must re-sync from the next full Result.
 	FrameGap
+	// FrameStatsReq polls the server's metrics registry (client→server).
+	FrameStatsReq
+	// FrameStats answers a StatsReq with a flat list of named counters —
+	// the same stats the /metrics endpoint exposes as text.
+	FrameStats
 	frameMax // one past the last valid type
 )
 
@@ -143,6 +148,10 @@ func (t FrameType) String() string {
 		return "snapshot"
 	case FrameGap:
 		return "gap"
+	case FrameStatsReq:
+		return "statsreq"
+	case FrameStats:
+		return "stats"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}
@@ -232,6 +241,14 @@ type Snapshot struct {
 	Live      bool
 	ResumeSeq uint64
 	Result    []model.Neighbor
+}
+
+// Stat is one named integer metric reading of a Stats frame. Names are the
+// expanded registry names (histograms appear as name_count, name_p50_ns,
+// …); values are raw integers in the metric's documented unit.
+type Stat struct {
+	Name  string
+	Value int64
 }
 
 // Gap is a decoded Gap frame: events of subscription SubID were lost. To

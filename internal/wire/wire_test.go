@@ -63,6 +63,8 @@ func sampleFrames() [][]byte {
 		AppendEvent(nil, 1, 99, sampleDiff()),
 		AppendSnapshot(nil, Snapshot{SubID: 1, Query: 10, Live: true, ResumeSeq: 77, Result: []model.Neighbor{{ID: 1, Dist: 0.01}}}),
 		AppendGap(nil, Gap{SubID: 1, From: 5, To: 9}),
+		AppendStatsReq(nil, 15),
+		AppendStats(nil, 15, []Stat{{Name: "cpm_server_frames_in_total", Value: 12345}, {Name: "cpm_monitor_cycle_ns_p99_ns", Value: -1}}),
 	}
 }
 
@@ -276,6 +278,33 @@ func TestRoundTrip(t *testing.T) {
 		}
 		return nil
 	})
+
+	check(AppendStatsReq(nil, 27), FrameStatsReq, func(p []byte) error {
+		req, err := DecodeStatsReq(p)
+		if err != nil {
+			return err
+		}
+		if req != 27 {
+			t.Fatalf("statsreq = %d, want 27", req)
+		}
+		return nil
+	})
+
+	for _, stats := range [][]Stat{
+		nil,
+		{{Name: "cpm_server_connections_active", Value: 3}, {Name: "cpm_monitor_cycle_ns_p99_ns", Value: 1 << 40}, {Name: "", Value: -7}},
+	} {
+		check(AppendStats(nil, 28, stats), FrameStats, func(p []byte) error {
+			req, got, err := DecodeStats(p)
+			if err != nil {
+				return err
+			}
+			if req != 28 || !reflect.DeepEqual(got, stats) {
+				t.Fatalf("stats = (%d, %+v), want (28, %+v)", req, got, stats)
+			}
+			return nil
+		})
+	}
 }
 
 // TestReaderStream writes every sample frame into one stream and reads
@@ -424,6 +453,12 @@ func decodeAny(t FrameType, p []byte) error {
 		return err
 	case FrameGap:
 		_, err := DecodeGap(p)
+		return err
+	case FrameStatsReq:
+		_, err := DecodeStatsReq(p)
+		return err
+	case FrameStats:
+		_, _, err := DecodeStats(p)
 		return err
 	default:
 		return ErrMalformed
