@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke fuzz
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke cluster-smoke fuzz
 
 all: build test
 
@@ -15,10 +15,11 @@ test:
 
 # Race-sensitive packages: the sharded monitor's fan-out, the conceptual
 # partitioning it traverses, the engine it drives in parallel, the notify
-# pub/sub layer (incl. the root package's subscriber stress test), and the
-# network serving layer (wire codec, TCP server, reconnecting client).
+# pub/sub layer (incl. the root package's subscriber stress test), the
+# network serving layer (wire codec, TCP server, reconnecting client) and
+# the cluster coordinator's fan-out/re-sync machinery.
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/...
 
 # Host a self-driving CPM monitor on :7845; watch it with
 #   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow
@@ -61,6 +62,38 @@ load-smoke:
 	fi; \
 	kill $$srv; wait $$srv 2>/dev/null || true; \
 	echo "load-smoke: ok"
+
+# Cluster round trip on loopback: two stock cpmserver workers, a cpmcoord
+# sharding across them, then a cpmload burst and a cpmsim -connect -follow
+# session against the coordinator — the full distributed binary path. The
+# coordinator is restarted between the two phases (a fresh coordinator
+# resets its workers at startup), which also smoke-tests coordinator
+# restartability. CI runs this in the test job next to serve-smoke /
+# load-smoke.
+cluster-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/cpm-cluster-server ./cmd/cpmserver; \
+	$(GO) build -o /tmp/cpm-cluster-coord ./cmd/cpmcoord; \
+	$(GO) build -o /tmp/cpm-cluster-load ./cmd/cpmload; \
+	$(GO) build -o /tmp/cpm-cluster-sim ./cmd/cpmsim; \
+	trap 'kill $$w1 $$w2 $$co 2>/dev/null || true' EXIT; \
+	/tmp/cpm-cluster-server -addr 127.0.0.1:17848 & w1=$$!; \
+	/tmp/cpm-cluster-server -addr 127.0.0.1:17849 & w2=$$!; \
+	sleep 1; \
+	/tmp/cpm-cluster-coord -addr 127.0.0.1:17850 -metrics 127.0.0.1:19101 \
+		-workers 127.0.0.1:17848,127.0.0.1:17849 & co=$$!; \
+	sleep 1; \
+	/tmp/cpm-cluster-load -addr 127.0.0.1:17850 -conns 2 -rate 200 -duration 3s -n 500 -queries 20 -v; \
+	kill $$co; wait $$co 2>/dev/null || true; \
+	/tmp/cpm-cluster-coord -addr 127.0.0.1:17850 -metrics 127.0.0.1:19101 \
+		-workers 127.0.0.1:17848,127.0.0.1:17849 & co=$$!; \
+	sleep 1; \
+	/tmp/cpm-cluster-sim -connect 127.0.0.1:17850 -n 1000 -queries 10 -ts 3 -follow -watch 1; \
+	if command -v curl >/dev/null; then \
+		curl -sf 127.0.0.1:19101/metrics | grep -E '^cpm_coord_(workers|workers_synced) ' ; \
+	fi; \
+	kill $$co $$w1 $$w2; wait $$co $$w1 $$w2 2>/dev/null || true; \
+	echo "cluster-smoke: ok"
 
 # Short fuzz runs over the wire codec (the seed corpus is checked in).
 fuzz:

@@ -51,6 +51,15 @@ var (
 	ErrDisconnected = errors.New("client: disconnected")
 )
 
+// ErrUnsent refines ErrDisconnected for requests that provably never
+// reached the wire: no connection came up within ReconnectWait, or the
+// connection turned over before the request was written. Unlike a
+// mid-flight ErrDisconnected, the server definitely did not apply the
+// operation, so retrying cannot double-apply it — the cluster coordinator
+// relies on this to decide between replaying a batch and resetting a
+// worker. errors.Is(err, ErrDisconnected) remains true.
+var ErrUnsent = fmt.Errorf("%w (request never sent)", ErrDisconnected)
+
 // Options tune a Client. The zero value is ready for use.
 type Options struct {
 	// DialTimeout bounds each connection attempt (default 5s).
@@ -70,6 +79,18 @@ type Options struct {
 	// slow-consumer backpressure reproducible in tests; leave 0 for the
 	// OS default in production.
 	SocketReadBuffer int
+	// SyncDiffs requests sync-diffs mode in the handshake: the server
+	// answers every successful mutating request with the result diffs it
+	// produced, surfaced through the *Diffs method variants (TickDiffs,
+	// RegisterDefDiffs, …). The cluster coordinator runs its worker
+	// connections in this mode.
+	SyncDiffs bool
+	// OnConnect, when set, is called after every completed handshake —
+	// the first dial and every reconnect — with the server's instance
+	// identifier from the Welcome frame. A changed instance means the
+	// server restarted and lost its state. The callback runs on the
+	// dialing goroutine before any request is released; keep it fast.
+	OnConnect func(instance uint64)
 	// Logf, when set, receives reconnect diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +122,8 @@ type call struct {
 	res  []cpm.Neighbor
 	// Stats response (StatsReq only).
 	stats []wire.Stat
+	// Diffs response (mutating requests on a SyncDiffs connection).
+	diffs []cpm.ResultDiff
 }
 
 // Client is a connection to a CPM server. Create one with Dial.
@@ -116,6 +139,8 @@ type Client struct {
 	nextSub uint32
 	pending map[uint64]*call
 	subs    map[uint32]*Subscription
+	// instance is the server identifier from the latest Welcome.
+	instance uint64
 
 	wbuf []byte // reused encode buffer; guarded by mu
 }
@@ -154,7 +179,11 @@ func (c *Client) dialOnce() (net.Conn, error) {
 			tc.SetReadBuffer(c.opts.SocketReadBuffer)
 		}
 	}
-	if _, err := nc.Write(wire.AppendHello(nil)); err != nil {
+	var flags uint8
+	if c.opts.SyncDiffs {
+		flags |= wire.HelloSyncDiffs
+	}
+	if _, err := nc.Write(wire.AppendHello(nil, flags)); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -170,11 +199,27 @@ func (c *Client) dialOnce() (net.Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake got %v", t)
 	}
-	if err := wire.DecodeWelcome(payload); err != nil {
+	instance, err := wire.DecodeWelcome(payload)
+	if err != nil {
 		nc.Close()
 		return nil, err
 	}
+	c.mu.Lock()
+	c.instance = instance
+	c.mu.Unlock()
+	if c.opts.OnConnect != nil {
+		c.opts.OnConnect(instance)
+	}
 	return nc, nil
+}
+
+// InstanceID returns the server instance identifier from the most recent
+// handshake (0 before the first, or against a server that predates the
+// field). A change between reconnects means the server restarted.
+func (c *Client) InstanceID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.instance
 }
 
 // install adopts a fresh connection (caller holds mu): it becomes current,
@@ -335,10 +380,15 @@ func (c *Client) await() (net.Conn, error) {
 }
 
 // roundTrip sends one request frame (built by build with the assigned
-// request id) and waits for its response.
+// request id) and waits for its response. Failures before the write
+// return ErrUnsent (the request never reached the wire); failures after
+// it return plain ErrDisconnected (outcome unknown).
 func (c *Client) roundTrip(build func(dst []byte, reqID uint64) []byte) (*call, error) {
 	nc, err := c.await()
 	if err != nil {
+		if errors.Is(err, ErrDisconnected) {
+			return nil, ErrUnsent
+		}
 		return nil, err
 	}
 	c.mu.Lock()
@@ -349,7 +399,7 @@ func (c *Client) roundTrip(build func(dst []byte, reqID uint64) []byte) (*call, 
 	if c.nc != nc {
 		// The connection turned over while we were acquiring the lock.
 		c.mu.Unlock()
-		return nil, ErrDisconnected
+		return nil, ErrUnsent
 	}
 	c.nextReq++
 	reqID := c.nextReq
@@ -437,6 +487,18 @@ func (c *Client) dispatch(t wire.FrameType, payload []byte) error {
 			return nil
 		}
 		cl.stats = stats
+		close(cl.done)
+
+	case wire.FrameDiffs:
+		reqID, diffs, err := wire.DecodeDiffs(payload)
+		if err != nil {
+			return err
+		}
+		cl := c.takeCall(reqID)
+		if cl == nil {
+			return nil
+		}
+		cl.diffs = diffs
 		close(cl.done)
 
 	case wire.FrameEvent:
@@ -558,6 +620,67 @@ func (c *Client) MoveQuery(id cpm.QueryID, to ...cpm.Point) error {
 func (c *Client) RemoveQuery(id cpm.QueryID) error {
 	return c.ack(func(dst []byte, reqID uint64) []byte {
 		return wire.AppendRemoveQuery(dst, reqID, id)
+	})
+}
+
+// QueryDef is a query registration in its wire form — the generic
+// definition RegisterDef accepts, covering all four query kinds. The
+// cluster coordinator stores these to replay registrations onto workers.
+type QueryDef = wire.Register
+
+// RegisterDef installs a query from its generic wire definition.
+func (c *Client) RegisterDef(r QueryDef) error { return c.register(r) }
+
+// diffsCall performs a round trip whose response carries the operation's
+// result diffs (requires Options.SyncDiffs; on a plain connection the
+// server acks and the diffs come back nil).
+func (c *Client) diffsCall(build func(dst []byte, reqID uint64) []byte) ([]cpm.ResultDiff, error) {
+	cl, err := c.roundTrip(build)
+	if err != nil {
+		return nil, err
+	}
+	return cl.diffs, nil
+}
+
+// TickDiffs is Tick returning the result diffs the cycle produced, in
+// query-id order (requires Options.SyncDiffs).
+func (c *Client) TickDiffs(b cpm.Batch) ([]cpm.ResultDiff, error) {
+	return c.diffsCall(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendTick(dst, reqID, b)
+	})
+}
+
+// RegisterDefDiffs is RegisterDef returning the installation diff
+// (requires Options.SyncDiffs).
+func (c *Client) RegisterDefDiffs(r QueryDef) ([]cpm.ResultDiff, error) {
+	return c.diffsCall(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendRegister(dst, reqID, r)
+	})
+}
+
+// MoveQueryDiffs is MoveQuery returning the resulting diffs (requires
+// Options.SyncDiffs).
+func (c *Client) MoveQueryDiffs(id cpm.QueryID, to ...cpm.Point) ([]cpm.ResultDiff, error) {
+	return c.diffsCall(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendMoveQuery(dst, reqID, id, to)
+	})
+}
+
+// RemoveQueryDiffs is RemoveQuery returning the terminal DiffRemove
+// (requires Options.SyncDiffs).
+func (c *Client) RemoveQueryDiffs(id cpm.QueryID) ([]cpm.ResultDiff, error) {
+	return c.diffsCall(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendRemoveQuery(dst, reqID, id)
+	})
+}
+
+// Reset wipes the server monitor back to its just-constructed state:
+// every query removed, the object population discarded, Bootstrap
+// allowed again. The cluster coordinator uses it to re-sync a worker
+// whose state is unknown.
+func (c *Client) Reset() error {
+	return c.ack(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendReset(dst, reqID)
 	})
 }
 

@@ -1,0 +1,137 @@
+// Command cpmcoord is the CPM cluster coordinator: it shards continuous
+// queries across a fleet of cpmserver workers and presents the whole
+// cluster as one ordinary CPM server — the client package, cpmload and
+// cpmsim -connect work against it unmodified.
+//
+//	cpmserver -addr :7901 &
+//	cpmserver -addr :7902 &
+//	cpmcoord  -addr :7845 -workers localhost:7901,localhost:7902
+//
+// Queries are hash-partitioned across the workers (the same partitioning
+// internal/shard uses in-process); each tick's object updates fan out to
+// every worker concurrently and the per-worker result diffs merge back
+// into one id-ordered stream. A worker that fails or stalls past
+// -op-timeout is dropped from the fan-out, its subscribers see explicit
+// Gap frames, and it is rebuilt in the background from the coordinator's
+// state mirror; see docs/CLUSTER.md for the full semantics.
+//
+// With -metrics the coordinator serves both its own counters
+// (cpm_coord_*, per-worker RTT/reconnects) and its upstream serving-layer
+// counters (cpm_server_*) on one plain-text page:
+//
+//	cpmcoord -addr :7845 -workers ... -metrics :9101
+//	curl -s localhost:9101/metrics
+//
+// Stop with SIGINT/SIGTERM; connections drain and the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cpm/internal/cluster"
+	"cpm/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7845", "listen address")
+		workers     = flag.String("workers", "", "comma-separated worker addresses (required)")
+		metricsAddr = flag.String("metrics", "", "serve plain-text metrics over HTTP on this address (empty = off)")
+		verbose     = flag.Bool("v", false, "log connection and worker lifecycle events")
+
+		opTimeout        = flag.Duration("op-timeout", 5*time.Second, "per-operation worker answer deadline (miss = desync + background re-sync; <0 disables)")
+		writeTimeout     = flag.Duration("write-timeout", 10*time.Second, "per-flush socket write deadline on client connections (<0 disables)")
+		handshakeTimeout = flag.Duration("handshake-timeout", 10*time.Second, "deadline for a client's Hello frame (<0 disables)")
+	)
+	flag.Parse()
+
+	addrs := splitWorkers(*workers)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "cpmcoord: -workers is required (comma-separated addresses)")
+		os.Exit(2)
+	}
+
+	copts := cluster.Options{Workers: addrs, OpTimeout: *opTimeout}
+	if *verbose {
+		copts.Logf = log.Printf
+	}
+	coord, err := cluster.New(copts)
+	if err != nil {
+		log.Fatalf("cpmcoord: %v", err)
+	}
+
+	sopts := server.Options{
+		WriteTimeout:     *writeTimeout,
+		HandshakeTimeout: *handshakeTimeout,
+	}
+	if *verbose {
+		sopts.Logf = log.Printf
+	}
+	srv := server.New(coord, sopts)
+
+	// The startup line carries every resolved option, so operator logs
+	// identify the configuration a running instance was launched with.
+	log.Printf("cpmcoord: starting: addr=%s workers=%s metrics=%s op-timeout=%v write-timeout=%v handshake-timeout=%v",
+		*addr, strings.Join(addrs, ","), orOff(*metricsAddr), *opTimeout, *writeTimeout, *handshakeTimeout)
+
+	if *metricsAddr != "" {
+		go serveMetrics(srv, coord, *metricsAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("cpmcoord: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
+		log.Fatalf("cpmcoord: %v", err)
+	}
+	coord.Close()
+}
+
+// splitWorkers parses the -workers flag, tolerating blanks.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// orOff renders an optional address for the startup line.
+func orOff(addr string) string {
+	if addr == "" {
+		return "off"
+	}
+	return addr
+}
+
+// serveMetrics exposes both registries — the serving layer's and the
+// coordinator's own — as one plain-text page on /metrics (and /).
+func serveMetrics(srv *server.Server, coord *cluster.Coordinator, addr string) {
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		srv.Metrics().WriteText(w)
+		coord.Metrics().WriteText(w)
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	log.Printf("cpmcoord: metrics on http://%s/metrics", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("cpmcoord: metrics endpoint: %v", err)
+	}
+}

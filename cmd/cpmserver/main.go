@@ -161,7 +161,7 @@ func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interv
 	if err != nil {
 		log.Fatalf("cpmserver: %v", err)
 	}
-	srv.Locked(func(m *cpm.Monitor) {
+	srv.Locked(func(m server.Backend) {
 		m.Bootstrap(w.InitialObjects())
 		for i, q := range w.InitialQueries() {
 			if err := m.RegisterQuery(model.QueryID(i), q, k); err != nil {
@@ -182,7 +182,7 @@ func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interv
 		b := w.Advance()
 		var changed int
 		var cycleNs int64
-		srv.Locked(func(m *cpm.Monitor) {
+		srv.Locked(func(m server.Backend) {
 			m.Tick(b)
 			changed = len(m.ChangedQueries())
 			cycleNs = m.LastCycleNanos()

@@ -261,9 +261,18 @@ var (
 // from any number of goroutines while the processing loop runs.
 type Monitor struct {
 	e backend
+	// opts are the construction options, kept so Reset can rebuild the
+	// backend from scratch.
+	opts Options
 	// hub delivers result diffs to subscribers; nil until the first
 	// Subscribe call, so unsubscribed monitors pay nothing for streaming.
 	hub *notify.Hub
+	// keep makes publish() additionally buffer every diff for TakeDiffs —
+	// the pull-based collection path of the cluster serving layer.
+	keep bool
+	// pending holds the diffs collected since the last TakeDiffs while
+	// keep is on.
+	pending []ResultDiff
 	// closed is set by Close: later Subscribe calls get an already-closed
 	// subscription instead of racing the draining hub.
 	closed bool
@@ -274,11 +283,10 @@ type Monitor struct {
 	lastCycleNs int64
 }
 
-// NewMonitor creates a CPM monitor: a single engine, or — with
-// Options.Shards > 1 — a sharded monitor that partitions the queries
-// across parallel worker shards with identical results.
-func NewMonitor(opts Options) *Monitor {
-	opts.defaults()
+// newBackend builds the engine Options select: a single engine, or — with
+// Shards > 1 or AutoRebalance — the sharded monitor. opts must already
+// have defaults applied.
+func newBackend(opts Options) backend {
 	copts := core.Options{
 		PerUpdate:       opts.PerUpdate,
 		DropBookkeeping: opts.DropBookkeeping,
@@ -299,9 +307,17 @@ func NewMonitor(opts Options) *Monitor {
 				CheckEvery:           opts.RebalanceCheckEvery,
 			})
 		}
-		return &Monitor{e: s}
+		return s
 	}
-	return &Monitor{e: core.NewEngine(opts.GridSize, opts.Workspace, copts)}
+	return core.NewEngine(opts.GridSize, opts.Workspace, copts)
+}
+
+// NewMonitor creates a CPM monitor: a single engine, or — with
+// Options.Shards > 1 — a sharded monitor that partitions the queries
+// across parallel worker shards with identical results.
+func NewMonitor(opts Options) *Monitor {
+	opts.defaults()
+	return &Monitor{e: newBackend(opts), opts: opts}
 }
 
 // Bootstrap loads the initial object population. Call once, before
@@ -558,14 +574,67 @@ func (m *Monitor) Close() {
 	m.e.EnableDiffs(false)
 }
 
-// publish flushes the diffs of the last mutating operation to the
-// subscribers. No-op (and no diff is ever collected) while there has been
-// no Subscribe call.
-func (m *Monitor) publish() {
-	if m.hub == nil {
+// KeepDiffs toggles pull-based diff collection: while on, every mutating
+// operation's result diffs are additionally buffered for TakeDiffs — with
+// or without subscribers. The network serving layer uses this to answer
+// sync-diffs requests (each operation's diffs returned to the requester)
+// deterministically, independent of the push path's goroutines. Turning it
+// off discards anything pending.
+func (m *Monitor) KeepDiffs(on bool) {
+	m.keep = on
+	if on {
+		m.e.EnableDiffs(true)
 		return
 	}
-	m.hub.Publish(m.e.TakeDiffs())
+	m.pending = nil
+	if m.hub == nil {
+		m.e.EnableDiffs(false)
+	}
+}
+
+// TakeDiffs returns the diffs collected since the last TakeDiffs call and
+// clears the buffer. Nil unless KeepDiffs is on.
+func (m *Monitor) TakeDiffs() []ResultDiff {
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// Reset wipes the monitor back to its just-constructed state: every query
+// is removed (publishing the terminal DiffRemove events to collectors and
+// subscribers), the object population is discarded, and Bootstrap may be
+// called again. Cycle counters are cumulative observability data and are
+// not reset. The cluster coordinator uses this to re-sync a worker whose
+// state is unknown (restarted, or missed batches beyond the replay
+// window) before re-bootstrapping it.
+func (m *Monitor) Reset() {
+	for _, id := range m.e.QueryIDs() {
+		m.e.RemoveQuery(id)
+	}
+	m.publish()
+	if c, ok := m.e.(interface{ Close() }); ok {
+		c.Close() // stop a sharded backend's worker goroutines
+	}
+	m.e = newBackend(m.opts)
+	if m.hub != nil || m.keep {
+		m.e.EnableDiffs(true)
+	}
+}
+
+// publish flushes the diffs of the last mutating operation to the
+// subscribers and, with KeepDiffs on, the pull buffer. No-op (and no diff
+// is ever collected) while neither is active.
+func (m *Monitor) publish() {
+	if m.hub == nil && !m.keep {
+		return
+	}
+	diffs := m.e.TakeDiffs()
+	if m.keep {
+		m.pending = append(m.pending, diffs...)
+	}
+	if m.hub != nil {
+		m.hub.Publish(diffs)
+	}
 }
 
 // Stats returns cumulative work counters.

@@ -190,10 +190,10 @@ func TestWriteReport(t *testing.T) {
 		t.Fatalf("output is not JSON: %v", err)
 	}
 	// The two requested methods plus the always-on pseudo-method rows: the
-	// serving layer's wire-encode row and the two hotspot-drift rebalance
-	// rows.
-	if len(rep.Methods) != 5 {
-		t.Fatalf("report holds %d methods, want 5", len(rep.Methods))
+	// serving layer's wire-encode row, the two hotspot-drift rebalance
+	// rows, and the loopback-cluster row.
+	if len(rep.Methods) != 6 {
+		t.Fatalf("report holds %d methods, want 6", len(rep.Methods))
 	}
 	seen := map[string]bool{}
 	for _, mr := range rep.Methods {
@@ -207,11 +207,20 @@ func TestWriteReport(t *testing.T) {
 			}
 			continue
 		}
+		if mr.Method == ClusterMethod {
+			// The cluster row measures coordination cost around remote
+			// workers: the engine work counters live in the workers, so
+			// only the timing/allocation columns carry signal.
+			if mr.TotalNs <= 0 || mr.RegisterNs <= 0 || mr.Mallocs == 0 || mr.MemoryUnits != clusterWorkers {
+				t.Errorf("implausible cluster result: %+v", mr)
+			}
+			continue
+		}
 		if mr.Method == "" || mr.TotalNs <= 0 || mr.CellAccesses <= 0 || mr.Mallocs == 0 {
 			t.Errorf("implausible method result: %+v", mr)
 		}
 	}
-	for _, want := range []string{WireEncodeMethod, RebalanceMethod, RebalanceFrozenMethod} {
+	for _, want := range []string{WireEncodeMethod, RebalanceMethod, RebalanceFrozenMethod, ClusterMethod} {
 		if !seen[want] {
 			t.Errorf("%s row missing: %+v", want, rep.Methods)
 		}

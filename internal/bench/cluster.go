@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"net"
+	"runtime"
+	"time"
+
+	"cpm"
+	"cpm/internal/cluster"
+	"cpm/internal/generator"
+	"cpm/internal/model"
+	"cpm/internal/network"
+	"cpm/internal/server"
+)
+
+// The cluster trajectory row: the distributed serving path — a
+// cluster.Coordinator fanning ticks out to loopback cpmserver workers
+// over the real wire protocol and merging their diff streams — rides
+// along in the JSON report as a "cluster" pseudo-method, so the CI
+// benchdiff gate watches coordinator tick latency (fan-out, encode,
+// kernel round trip, decode, merge) like any monitor column. Work
+// counters stay zero: the cycle work happens inside the workers, and
+// the row measures the coordination overhead around it.
+
+// ClusterMethod is the method-column name of the cluster row.
+const ClusterMethod = "cluster"
+
+// clusterWorkers is the row's fleet size: the smallest real cluster, so
+// the row tracks per-tick coordination cost rather than scaling.
+const clusterWorkers = 2
+
+// clusterResult boots clusterWorkers in-process servers on loopback
+// listeners, shards the configured workload's queries across them
+// through a coordinator, and measures the tick loop end to end. The
+// update stream is pre-generated so the measured region is coordination
+// only.
+func clusterResult(cfg Config) (MethodResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MethodResult{}, err
+	}
+	netw, err := network.Generate(cfg.Net)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	w, err := generator.New(netw, cfg.Gen)
+	if err != nil {
+		return MethodResult{}, err
+	}
+
+	addrs := make([]string, clusterWorkers)
+	for i := range addrs {
+		mon := cpm.NewMonitor(cpm.Options{GridSize: cfg.GridSize})
+		srv := server.New(mon, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return MethodResult{}, err
+		}
+		go srv.Serve(ln)
+		defer func() { srv.Close(); mon.Close() }()
+		addrs[i] = ln.Addr().String()
+	}
+	coord, err := cluster.New(cluster.Options{Workers: addrs})
+	if err != nil {
+		return MethodResult{}, err
+	}
+	defer coord.Close()
+
+	coord.Bootstrap(w.InitialObjects())
+	queries := w.InitialQueries()
+	regStart := time.Now()
+	for i, q := range queries {
+		if err := coord.RegisterQuery(model.QueryID(i), q, cfg.K); err != nil {
+			return MethodResult{}, err
+		}
+	}
+	registered := time.Since(regStart)
+
+	batches := make([]model.Batch, cfg.Timestamps)
+	for i := range batches {
+		batches[i] = w.Advance()
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for _, b := range batches {
+		coord.Tick(b)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	perCycle := int64(0)
+	if cfg.Timestamps > 0 {
+		perCycle = elapsed.Nanoseconds() / int64(cfg.Timestamps)
+	}
+	return MethodResult{
+		Method:     ClusterMethod,
+		TotalNs:    elapsed.Nanoseconds(),
+		NsPerCycle: perCycle,
+		RegisterNs: registered.Nanoseconds(),
+		Mallocs:    msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+		// MemoryUnits records the fleet size the row ran at.
+		MemoryUnits: clusterWorkers,
+		Queries:     len(queries),
+		Timestamps:  cfg.Timestamps,
+	}, nil
+}

@@ -106,6 +106,14 @@ func RunReport(o Options, methods []Method) (Report, error) {
 		return Report{}, err
 	}
 	rep.Methods = append(rep.Methods, rebRes...)
+	// The distributed serving path: a loopback coordinator over two
+	// workers ("cluster"), so coordinator tick latency has a tracked
+	// trajectory next to the in-process methods.
+	cluRes, err := clusterResult(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Methods = append(rep.Methods, cluRes)
 	return rep, nil
 }
 

@@ -1,0 +1,47 @@
+package cluster_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// TestClusterDocsComplete keeps docs/CLUSTER.md honest the same way the
+// server's docs test keeps METRICS.md honest: every metric the
+// coordinator registry exposes must appear in the reference table, and
+// the table must not document metrics that no longer exist. Per-worker
+// instruments (cpm_coord_worker0_rtt_ns, ...) are documented once as
+// cpm_coord_worker<N>_*, so live names are normalized before matching.
+func TestClusterDocsComplete(t *testing.T) {
+	data, err := os.ReadFile("../../docs/CLUSTER.md")
+	if err != nil {
+		t.Fatalf("docs/CLUSTER.md unreadable: %v", err)
+	}
+	row := regexp.MustCompile("(?m)^\\| `(cpm_coord_[a-zA-Z0-9_<>]+)`")
+	documented := map[string]bool{}
+	for _, m := range row.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no coordinator metric rows found in docs/CLUSTER.md")
+	}
+
+	coord, _ := startCluster(t, 1, 5*time.Second)
+	perWorker := regexp.MustCompile(`^cpm_coord_worker\d+_`)
+	live := map[string]bool{}
+	for _, name := range coord.Metrics().Names() {
+		live[perWorker.ReplaceAllString(name, "cpm_coord_worker<N>_")] = true
+	}
+
+	for name := range live {
+		if !documented[name] {
+			t.Errorf("metric %s exists but is not documented in docs/CLUSTER.md", name)
+		}
+	}
+	for name := range documented {
+		if !live[name] {
+			t.Errorf("docs/CLUSTER.md documents %s, which no registry exposes", name)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"errors"
+	"maps"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpm/client"
+	"cpm/internal/geom"
+	"cpm/internal/metrics"
+	"cpm/internal/model"
+	"cpm/internal/wire"
+)
+
+// worker is one downstream server the coordinator shards onto.
+type worker struct {
+	idx  int
+	addr string
+	cl   *client.Client
+
+	// mu serializes every wire call to this worker. An operation the
+	// coordinator abandoned at the fan-out deadline may still be in
+	// flight; a later re-sync must wait for it to drain, or the stale
+	// request could land between the re-sync's Reset and Bootstrap and
+	// corrupt the rebuilt state.
+	mu sync.Mutex
+
+	// seen is the server instance id from the latest handshake, written
+	// by the client's OnConnect callback (dialing goroutine) and read by
+	// the coordinator loop.
+	seen atomic.Uint64
+	// resyncing marks a background re-sync in flight (set by the loop,
+	// cleared by the re-sync goroutine).
+	resyncing atomic.Bool
+
+	// Coordinator-loop state: synced reports whether the worker's state
+	// is exactly the mirror's; instance is the server instance that
+	// state was built on — a differing seen means the worker restarted
+	// underneath us.
+	synced   bool
+	instance uint64
+
+	rtt        *metrics.Histogram
+	reconnects *metrics.Counter
+}
+
+var errOpTimeout = errors.New("cluster: operation timed out")
+
+// synced returns the workers currently holding exact state.
+func (c *Coordinator) synced() []*worker {
+	out := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.synced {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// beginOp is the prologue of every mutating operation: accept any
+// background re-syncs that finished since the last operation (the mirror
+// is unchanged in between, so their snapshots are still exact), demote
+// workers whose server instance changed underneath a healthy connection,
+// and stamp the operation.
+func (c *Coordinator) beginOp() {
+	for _, w := range c.workers {
+		if w.synced && w.seen.Load() != w.instance {
+			c.desync(w, errors.New("server instance changed (worker restart)"))
+		}
+	}
+drain:
+	for {
+		select {
+		case r := <-c.resyncCh:
+			c.acceptResync(r)
+		default:
+			break drain
+		}
+	}
+	c.gen++
+}
+
+// fanOut runs f concurrently against the given workers, bounded by
+// Options.OpTimeout, and returns the merged diffs in ascending query id
+// order — the single-monitor stream order. A worker that fails with a
+// transport error or misses the deadline is desynced (its abandoned call,
+// if any, drains behind its per-worker mutex). An application error — the
+// server processed the request and rejected it — leaves the worker synced
+// and is returned; with desyncOnAppErr (fleet-wide operations, where a
+// rejection means the worker's state is in question) it desyncs instead.
+func (c *Coordinator) fanOut(targets []*worker, desyncOnAppErr bool, f func(*worker) ([]model.ResultDiff, error)) ([]model.ResultDiff, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	type fanResult struct {
+		w     *worker
+		diffs []model.ResultDiff
+		err   error
+		rtt   time.Duration
+	}
+	ch := make(chan fanResult, len(targets))
+	for _, w := range targets {
+		go func(w *worker) {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			t0 := time.Now()
+			diffs, err := f(w)
+			ch <- fanResult{w: w, diffs: diffs, err: err, rtt: time.Since(t0)}
+		}(w)
+	}
+	var deadline <-chan time.Time
+	if c.opts.OpTimeout > 0 {
+		tm := time.NewTimer(c.opts.OpTimeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	answered := make(map[*worker]bool, len(targets))
+	var merged []model.ResultDiff
+	var appErr error
+	for len(answered) < len(targets) {
+		select {
+		case r := <-ch:
+			answered[r.w] = true
+			r.w.rtt.Observe(r.rtt)
+			switch {
+			case r.err == nil:
+				merged = append(merged, r.diffs...)
+			case isTransportErr(r.err) || desyncOnAppErr:
+				c.desync(r.w, r.err)
+			default:
+				appErr = r.err
+			}
+		case <-deadline:
+			c.met.opTimeouts.Inc()
+			for _, w := range targets {
+				if !answered[w] {
+					c.desync(w, errOpTimeout)
+				}
+			}
+			c.observeFanout(start, merged)
+			return merged, appErr
+		}
+	}
+	c.observeFanout(start, merged)
+	return merged, appErr
+}
+
+func (c *Coordinator) observeFanout(start time.Time, merged []model.ResultDiff) {
+	c.met.fanout.ObserveSince(start)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Query < merged[j].Query })
+}
+
+// isTransportErr separates "the request may not have reached the worker,
+// or its fate is unknown" from "the worker processed and rejected it".
+func isTransportErr(err error) bool {
+	return errors.Is(err, client.ErrDisconnected) || errors.Is(err, client.ErrClosed)
+}
+
+// desync marks a worker's state unknown: it stops receiving operations,
+// its owned queries' subscribers get an explicit sequence gap, and the
+// next operation boundary starts a background re-sync.
+func (c *Coordinator) desync(w *worker, err error) {
+	if !w.synced {
+		return
+	}
+	w.synced = false
+	c.met.desyncs.Inc()
+	c.met.workersSynced.Set(int64(c.SyncedWorkers()))
+	c.logf("cluster: worker %d (%s) out of sync: %v", w.idx, w.addr, err)
+	owned := c.ownedIDs(w.idx)
+	if len(owned) > 0 {
+		c.gapQueries(owned...)
+	}
+}
+
+// gapQueries advances interested subscribers' sequence numbers without an
+// event, so the loss surfaces downstream as an explicit Gap frame.
+func (c *Coordinator) gapQueries(ids ...model.QueryID) {
+	c.met.gapQueries.Add(int64(len(ids)))
+	if c.hub != nil {
+		c.hub.Gap(ids...)
+	}
+}
+
+// ownedIDs returns the installed queries owned by worker idx, ascending.
+func (c *Coordinator) ownedIDs(idx int) []model.QueryID {
+	var ids []model.QueryID
+	for id := range c.defs {
+		if c.owner(id) == idx {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ---- Background re-sync ---------------------------------------------------
+
+// resyncSnap is everything a re-sync goroutine may touch: an immutable
+// copy of the mirror, stamped with the operation generation it reflects.
+type resyncSnap struct {
+	gen  uint64
+	objs map[model.ObjectID]geom.Point
+	defs []wire.Register // the worker's owned queries, ascending id
+}
+
+// resyncResult reports one finished re-sync back to the coordinator loop.
+type resyncResult struct {
+	idx      int
+	gen      uint64
+	instance uint64
+	results  map[model.QueryID][]model.Neighbor // fresh owned results
+	err      error
+}
+
+// spawnResyncs starts a background rebuild for every out-of-sync worker
+// that does not have one in flight. It runs at the end of each mutating
+// operation, so the snapshot reflects everything the worker missed.
+func (c *Coordinator) spawnResyncs() {
+	for _, w := range c.workers {
+		if w.synced || w.resyncing.Load() {
+			continue
+		}
+		w.resyncing.Store(true)
+		snap := resyncSnap{gen: c.gen, objs: maps.Clone(c.objs)}
+		for _, id := range c.ownedIDs(w.idx) {
+			snap.defs = append(snap.defs, cloneDef(c.defs[id]))
+		}
+		go func(w *worker) {
+			r := runResync(w, snap)
+			c.resyncCh <- r
+			w.resyncing.Store(false)
+		}(w)
+	}
+}
+
+// runResync rebuilds one worker from a mirror snapshot: Reset, Bootstrap,
+// re-register every owned query, collecting each fresh initial result. It
+// touches no coordinator state — only the snapshot and the worker's
+// client — so it is safe off the single-threaded loop. The per-worker
+// mutex makes it wait for any abandoned in-flight call first.
+func runResync(w *worker, snap resyncSnap) resyncResult {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	res := resyncResult{idx: w.idx, gen: snap.gen, results: make(map[model.QueryID][]model.Neighbor, len(snap.defs))}
+	res.instance = w.cl.InstanceID()
+	if err := w.cl.Reset(); err != nil {
+		res.err = err
+		return res
+	}
+	if err := w.cl.Bootstrap(snap.objs); err != nil {
+		res.err = err
+		return res
+	}
+	for _, def := range snap.defs {
+		diffs, err := w.cl.RegisterDefDiffs(def)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for _, d := range diffs {
+			if d.Query == def.ID && d.Kind != model.DiffRemove {
+				res.results[d.Query] = d.Result
+			}
+		}
+	}
+	// The whole rebuild must have landed on one server instance: a
+	// restart mid-way would leave later registrations on a worker that
+	// never saw the Bootstrap.
+	if got := w.cl.InstanceID(); got != res.instance {
+		res.err = errors.New("cluster: worker restarted during re-sync")
+		return res
+	}
+	return res
+}
+
+// acceptResync folds a finished re-sync back in. It is only valid if no
+// operation ran since its snapshot (the worker would have missed it) and
+// the worker's instance still matches; otherwise the worker stays out of
+// sync and the next operation boundary retries with a fresh snapshot.
+func (c *Coordinator) acceptResync(r resyncResult) {
+	w := c.workers[r.idx]
+	if r.err != nil {
+		c.met.resyncFails.Inc()
+		c.logf("cluster: re-sync of worker %d (%s) failed: %v", w.idx, w.addr, r.err)
+		return
+	}
+	if r.gen != c.gen || r.instance != w.seen.Load() {
+		return // stale snapshot or the worker moved again: retry
+	}
+	w.synced = true
+	w.instance = r.instance
+	c.met.resyncs.Inc()
+	c.met.workersSynced.Set(int64(c.SyncedWorkers()))
+	c.logf("cluster: worker %d (%s) re-synced (%d queries)", w.idx, w.addr, len(r.results))
+	// Reconciliation: subscribers saw a gap while the worker was away;
+	// one synthetic full-result diff per drifted query re-converges them
+	// from the very next event.
+	var recon []model.ResultDiff
+	for _, id := range c.ownedIDs(w.idx) {
+		fresh := r.results[id]
+		if !neighborsEqual(c.results[id], fresh) {
+			recon = append(recon, synthDiff(id, c.results[id], fresh))
+			c.results[id] = fresh
+		}
+	}
+	c.publish(recon)
+}
+
+// synthDiff builds the DiffUpdate describing the transition old → new,
+// with the delta fields a subscriber expects (entered/exited in order,
+// re-ranked survivors with their new distances).
+func synthDiff(id model.QueryID, old, new []model.Neighbor) model.ResultDiff {
+	oldRank := make(map[model.ObjectID]int, len(old))
+	for i, n := range old {
+		oldRank[n.ID] = i
+	}
+	newSet := make(map[model.ObjectID]bool, len(new))
+	d := model.ResultDiff{Query: id, Kind: model.DiffUpdate, Result: new}
+	for i, n := range new {
+		newSet[n.ID] = true
+		if j, ok := oldRank[n.ID]; !ok {
+			d.Entered = append(d.Entered, n)
+		} else if j != i || old[j].Dist != n.Dist {
+			d.Reranked = append(d.Reranked, n)
+		}
+	}
+	for _, n := range old {
+		if !newSet[n.ID] {
+			d.Exited = append(d.Exited, n.ID)
+		}
+	}
+	return d
+}

@@ -167,6 +167,50 @@ func (h *Hub) Publish(diffs []model.ResultDiff) {
 	}
 }
 
+// Gap advances the sequence number of every subscription interested in
+// any of the given query ids (none means every subscription) without
+// delivering an event. The next event each affected subscriber receives
+// therefore arrives with a Seq jump — the same signal as a buffer-full
+// drop — so downstream consumers (the server's per-subscription
+// forwarders) surface the loss as a Gap and re-sync. The cluster
+// coordinator uses this when a worker misses a tick: the subscribers of
+// that worker's queries must not silently skip the lost diffs.
+func (h *Hub) Gap(ids ...model.QueryID) {
+	h.mu.Lock()
+	if h.closed || len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	subs := append([]*Subscription(nil), h.subs...)
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.skip(ids)
+	}
+}
+
+// skip bumps the sequence number once if this subscription is interested
+// in any of ids (nil = unconditionally), recording a hole in the stream.
+func (s *Subscription) skip(ids []model.QueryID) {
+	if s.filter != nil {
+		hit := len(ids) == 0
+		for _, id := range ids {
+			if _, ok := s.filter[id]; ok {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return
+		}
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.seq++
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
 // Close shuts the hub down: further Publish calls are no-ops and every
 // subscription finishes — its pump delivers the events already buffered,
 // then closes its Events channel. Close does not wait for the draining; a

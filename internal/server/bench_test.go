@@ -74,7 +74,7 @@ func BenchmarkLoopbackDelivery(b *testing.B) {
 			b.Fatal(err)
 		}
 		var changed int
-		srv.Locked(func(m *cpm.Monitor) { changed = len(m.ChangedQueries()) })
+		srv.Locked(func(m server.Backend) { changed = len(m.ChangedQueries()) })
 		for j := 0; j < changed; j++ {
 			ev := <-sub.Events()
 			if ev.Type != client.EventDiff {

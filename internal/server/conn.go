@@ -23,6 +23,7 @@ const (
 	outSnapshot
 	outGap
 	outStats
+	outDiffs
 )
 
 // outFrame is one queued outbound frame. A single struct (instead of
@@ -32,13 +33,14 @@ type outFrame struct {
 	kind  outKind
 	reqID uint64
 	subID uint32
-	seq   uint64
+	seq   uint64 // event seq; server instance for outWelcome
 	from  uint64
 	to    uint64
 	query model.QueryID
 	live  bool
 	errs  string
 	diff  model.ResultDiff
+	diffs []model.ResultDiff // outDiffs: a sync-diffs response
 	res   []model.Neighbor
 	stats []wire.Stat
 }
@@ -54,6 +56,11 @@ type conn struct {
 	done chan struct{}
 
 	closeOnce sync.Once
+
+	// sync is set during the handshake when the peer's Hello carried
+	// HelloSyncDiffs: successful mutating requests are answered with the
+	// operation's diffs instead of a bare ack.
+	sync bool
 
 	mu   sync.Mutex
 	subs map[uint32]*cpm.Subscription
@@ -147,12 +154,24 @@ func (c *conn) readLoop() error {
 	if t != wire.FrameHello {
 		return errors.New("first frame is not hello")
 	}
-	if err := wire.DecodeHello(payload); err != nil {
+	flags, err := wire.DecodeHello(payload)
+	if err != nil {
 		return err
+	}
+	if flags&wire.HelloSyncDiffs != 0 {
+		c.sync = true
+		// Flip the whole server into sync mode: the monitor buffers every
+		// operation's diffs from here on, and every mutating handler
+		// drains that buffer (see handle), so it never grows unbounded.
+		c.srv.monMu.Lock()
+		c.srv.syncMode = true
+		c.srv.mon.KeepDiffs(true)
+		c.srv.mon.TakeDiffs() // discard anything predating this connection
+		c.srv.monMu.Unlock()
 	}
 	// Handshake done: established connections may idle indefinitely.
 	c.nc.SetReadDeadline(time.Time{})
-	if !c.send(outFrame{kind: outWelcome}) {
+	if !c.send(outFrame{kind: outWelcome, seq: c.srv.instance}) {
 		return nil
 	}
 	c.srv.logf("server: %s: connected", c.nc.RemoteAddr())
@@ -184,6 +203,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			m[o.ID] = o.Pos
 		}
 		errMsg := ""
+		var diffs []model.ResultDiff
 		start := time.Now()
 		func() {
 			// Bootstrap panics on a second call by contract; a remote
@@ -195,10 +215,11 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			}()
 			s.monMu.Lock()
 			defer s.monMu.Unlock()
+			defer func() { diffs = c.drainDiffs() }()
 			s.mon.Bootstrap(m)
 		}()
 		s.met.handleBootstrap.ObserveSince(start)
-		c.ack(reqID, errMsg)
+		c.mutReply(reqID, errMsg, diffs)
 
 	case wire.FrameTick:
 		reqID, b, err := wire.DecodeTick(payload)
@@ -209,10 +230,11 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		s.monMu.Lock()
 		s.mon.Tick(b)
 		cycleNs := s.mon.LastCycleNanos()
+		diffs := c.drainDiffs()
 		s.monMu.Unlock()
 		s.met.handleTick.ObserveSince(start)
 		s.met.cycle.Observe(time.Duration(cycleNs))
-		c.ack(reqID, "")
+		c.mutReply(reqID, "", diffs)
 
 	case wire.FrameRegister:
 		reqID, reg, err := wire.DecodeRegister(payload)
@@ -222,9 +244,10 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		start := time.Now()
 		s.monMu.Lock()
 		rerr := s.register(reg)
+		diffs := c.drainDiffs()
 		s.monMu.Unlock()
 		s.met.handleRegister.ObserveSince(start)
-		c.ackErr(reqID, rerr)
+		c.mutReplyErr(reqID, rerr, diffs)
 
 	case wire.FrameMoveQuery:
 		reqID, id, pts, err := wire.DecodeMoveQuery(payload)
@@ -233,8 +256,9 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		}
 		s.monMu.Lock()
 		rerr := s.mon.MoveQuery(id, pts...)
+		diffs := c.drainDiffs()
 		s.monMu.Unlock()
-		c.ackErr(reqID, rerr)
+		c.mutReplyErr(reqID, rerr, diffs)
 
 	case wire.FrameRemoveQuery:
 		reqID, id, err := wire.DecodeRemoveQuery(payload)
@@ -243,6 +267,18 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		}
 		s.monMu.Lock()
 		s.mon.RemoveQuery(id)
+		diffs := c.drainDiffs()
+		s.monMu.Unlock()
+		c.mutReply(reqID, "", diffs)
+
+	case wire.FrameReset:
+		reqID, err := wire.DecodeReset(payload)
+		if err != nil {
+			return err
+		}
+		s.monMu.Lock()
+		s.mon.Reset()
+		c.drainDiffs() // discard the terminal removal diffs
 		s.monMu.Unlock()
 		c.ack(reqID, "")
 
@@ -405,6 +441,35 @@ func (c *conn) ackErr(reqID uint64, err error) {
 	c.ack(reqID, "")
 }
 
+// drainDiffs empties the monitor's sync-diffs buffer (caller holds monMu).
+// It drains on every mutating operation once the server is in sync mode —
+// whichever connection the operation came from — so the buffer stays
+// bounded; the result is only sent back on sync connections.
+func (c *conn) drainDiffs() []model.ResultDiff {
+	if !c.srv.syncMode {
+		return nil
+	}
+	return c.srv.mon.TakeDiffs()
+}
+
+// mutReply answers a mutating request: the operation's diffs on a
+// successful sync connection, a plain ack otherwise.
+func (c *conn) mutReply(reqID uint64, errMsg string, diffs []model.ResultDiff) {
+	if c.sync && errMsg == "" {
+		c.send(outFrame{kind: outDiffs, reqID: reqID, diffs: diffs})
+		return
+	}
+	c.ack(reqID, errMsg)
+}
+
+func (c *conn) mutReplyErr(reqID uint64, err error, diffs []model.ResultDiff) {
+	if err != nil {
+		c.mutReply(reqID, err.Error(), diffs)
+		return
+	}
+	c.mutReply(reqID, "", diffs)
+}
+
 // writeLoop owns the socket's send side: it encodes queued frames into one
 // reused buffer — so steady-state event delivery allocates nothing — and
 // coalesces bursts into single writes. Every flush runs under
@@ -464,7 +529,7 @@ func (c *conn) countOut(f outFrame) {
 func appendOut(buf []byte, f outFrame) []byte {
 	switch f.kind {
 	case outWelcome:
-		return wire.AppendWelcome(buf)
+		return wire.AppendWelcome(buf, f.seq)
 	case outAck:
 		return wire.AppendAck(buf, f.reqID, f.errs)
 	case outResult:
@@ -479,6 +544,8 @@ func appendOut(buf []byte, f outFrame) []byte {
 		return wire.AppendGap(buf, wire.Gap{SubID: f.subID, From: f.from, To: f.to})
 	case outStats:
 		return wire.AppendStats(buf, f.reqID, f.stats)
+	case outDiffs:
+		return wire.AppendDiffs(buf, f.reqID, f.diffs)
 	default:
 		return buf
 	}

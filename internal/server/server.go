@@ -48,11 +48,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"cpm"
+	"cpm/internal/geom"
 	"cpm/internal/model"
 	"cpm/internal/notify"
 	"cpm/internal/wire"
@@ -60,6 +62,45 @@ import (
 
 // ErrClosed is returned by Serve after Close.
 var ErrClosed = errors.New("server: closed")
+
+// Backend is the monitor-shaped surface a Server exposes over the wire.
+// *cpm.Monitor implements it for the ordinary single-process server;
+// internal/cluster's Coordinator implements it too, so the same Server
+// (and therefore the same unmodified client package) can front a whole
+// worker fleet. Like the monitor, a Backend is single-threaded by
+// contract: the server serializes every call behind one mutex.
+type Backend interface {
+	Bootstrap(objs map[model.ObjectID]geom.Point)
+	Tick(b model.Batch)
+	RegisterQuery(id model.QueryID, q geom.Point, k int) error
+	RegisterAggQuery(id model.QueryID, pts []geom.Point, k int, agg geom.Agg) error
+	RegisterConstrainedQuery(id model.QueryID, q geom.Point, k int, region geom.Rect) error
+	RegisterRangeQuery(id model.QueryID, center geom.Point, radius float64) error
+	MoveQuery(id model.QueryID, to ...geom.Point) error
+	RemoveQuery(id model.QueryID)
+	Snapshot(ids ...model.QueryID) []cpm.QuerySnapshot
+	Result(id model.QueryID) []cpm.Neighbor
+	ObjectPosition(id model.ObjectID) (geom.Point, bool)
+	SubscribeWith(opts cpm.SubscribeOptions, ids ...model.QueryID) *cpm.Subscription
+	ChangedQueries() []model.QueryID
+
+	// Sync-diffs collection (wire.HelloSyncDiffs) and cluster re-sync.
+	KeepDiffs(on bool)
+	TakeDiffs() []model.ResultDiff
+	Reset()
+
+	// Observability, read by the monitor-state gauges at scrape time.
+	Cycles() int64
+	LastCycleNanos() int64
+	ObjectCount() int
+	QueryCount() int
+	GridSize() int
+	Rebalances() int64
+	Stats() model.Stats
+	InvalidUpdates() int64
+}
+
+var _ Backend = (*cpm.Monitor)(nil)
 
 // Options tune a Server. The zero value is ready for production use.
 type Options struct {
@@ -100,14 +141,24 @@ func (o *Options) defaults() {
 	}
 }
 
-// Server serves one cpm.Monitor to any number of network clients.
+// Server serves one Backend (usually a cpm.Monitor) to any number of
+// network clients.
 type Server struct {
 	opts Options
-	mon  *cpm.Monitor
+	mon  Backend
 	met  *serverMetrics
+	// instance is a random per-Server identifier echoed in every Welcome:
+	// a reconnecting peer that sees a different instance knows it is
+	// talking to a restarted server whose state is gone.
+	instance uint64
 
 	// monMu serializes all monitor access: connection handlers, Locked.
 	monMu sync.Mutex
+	// syncMode is set (under monMu, permanently) once any sync-diffs
+	// connection completes its handshake: from then on every mutating
+	// handler drains the monitor's diff buffer so it cannot grow without
+	// bound, whichever connection the operation came from.
+	syncMode bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -119,12 +170,13 @@ type Server struct {
 // New creates a server around an existing monitor. The caller keeps
 // ownership of the monitor (and closes it after the server); all direct
 // access must go through Locked once Serve has started.
-func New(mon *cpm.Monitor, opts Options) *Server {
+func New(mon Backend, opts Options) *Server {
 	opts.defaults()
 	s := &Server{
-		opts:  opts,
-		mon:   mon,
-		conns: make(map[*conn]struct{}),
+		opts:     opts,
+		mon:      mon,
+		instance: rand.Uint64() | 1, // never 0: 0 means "field absent" on the wire
+		conns:    make(map[*conn]struct{}),
 	}
 	s.met = newServerMetrics(s)
 	return s
@@ -133,7 +185,7 @@ func New(mon *cpm.Monitor, opts Options) *Server {
 // Locked runs f with exclusive access to the served monitor — the hook for
 // in-process drivers (a workload loop, a stats dump) that share the
 // monitor with the network.
-func (s *Server) Locked(f func(m *cpm.Monitor)) {
+func (s *Server) Locked(f func(m Backend)) {
 	s.monMu.Lock()
 	defer s.monMu.Unlock()
 	f(s.mon)

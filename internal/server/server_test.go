@@ -50,7 +50,7 @@ func dialRaw(t *testing.T, addr string) *testConn {
 	}
 	t.Cleanup(func() { nc.Close() })
 	tc := &testConn{t: t, nc: nc, r: wire.NewReader(nc)}
-	tc.write(wire.AppendHello(nil))
+	tc.write(wire.AppendHello(nil, 0))
 	typ, _, _ := tc.next()
 	if typ != wire.FrameWelcome {
 		t.Fatalf("handshake answered with %v", typ)
@@ -252,7 +252,7 @@ func TestServerSubscribeStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want []cpm.Neighbor
-	srv.Locked(func(m *cpm.Monitor) { want = m.Result(5) })
+	srv.Locked(func(m Backend) { want = m.Result(5) })
 	if snap.SubID != 7 || snap.Query != 5 || !snap.Live || !reflect.DeepEqual(snap.Result, want) {
 		t.Fatalf("snapshot = %+v, want result %v", snap, want)
 	}
@@ -282,7 +282,7 @@ func TestServerSubscribeStream(t *testing.T) {
 	if ev.SubID != 7 || ev.Seq != 1 || ev.Diff.Query != 5 || ev.Diff.Kind != cpm.DiffUpdate {
 		t.Fatalf("event = %+v", ev)
 	}
-	srv.Locked(func(m *cpm.Monitor) { want = m.Result(5) })
+	srv.Locked(func(m Backend) { want = m.Result(5) })
 	if !reflect.DeepEqual(ev.Diff.Result, want) {
 		t.Fatalf("event result %v, want %v", ev.Diff.Result, want)
 	}

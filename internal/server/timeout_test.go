@@ -57,7 +57,7 @@ func TestWriteTimeoutDropsStalledReader(t *testing.T) {
 		tc.SetReadBuffer(1)
 	}
 	r := wire.NewReader(nc)
-	if _, err := nc.Write(wire.AppendHello(nil)); err != nil {
+	if _, err := nc.Write(wire.AppendHello(nil, 0)); err != nil {
 		t.Fatal(err)
 	}
 	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -68,7 +68,7 @@ func TestWriteTimeoutDropsStalledReader(t *testing.T) {
 	// Populate and register a k-32 query, then subscribe with a roomy hub
 	// buffer: every tick pushes a ~400-byte event at this k.
 	const k = 32
-	srv.Locked(func(m *cpm.Monitor) {
+	srv.Locked(func(m Backend) {
 		objs := make(map[cpm.ObjectID]cpm.Point, 64)
 		for i := 0; i < 64; i++ {
 			objs[cpm.ObjectID(i)] = cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
@@ -89,7 +89,7 @@ func TestWriteTimeoutDropsStalledReader(t *testing.T) {
 	// processing loop must never block — delivery loss is the hub's
 	// problem, the jammed socket is the write deadline's.
 	for cycle := 0; cycle < 600; cycle++ {
-		srv.Locked(func(m *cpm.Monitor) {
+		srv.Locked(func(m Backend) {
 			b := cpm.Batch{}
 			for i := 0; i < 64; i++ {
 				old, _ := m.ObjectPosition(cpm.ObjectID(i))
@@ -108,7 +108,7 @@ func TestWriteTimeoutDropsStalledReader(t *testing.T) {
 	waitConnCount(t, srv, 0, 10*time.Second)
 
 	// And the monitor is still serviceable after the drop.
-	srv.Locked(func(m *cpm.Monitor) {
+	srv.Locked(func(m Backend) {
 		if got := len(m.Result(1)); got != k {
 			t.Fatalf("post-drop result has %d neighbors, want %d", got, k)
 		}

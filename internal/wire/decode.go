@@ -251,9 +251,8 @@ func (d *dec) done() error {
 	return nil
 }
 
-// checkMagic validates a Hello/Welcome payload.
-func checkMagic(p []byte) error {
-	d := dec{p}
+// checkMagic consumes and validates the magic of a Hello/Welcome payload.
+func checkMagic(d *dec) error {
 	m, err := d.uint32()
 	if err != nil {
 		return err
@@ -261,14 +260,40 @@ func checkMagic(p []byte) error {
 	if m != Magic {
 		return fmt.Errorf("%w: bad magic %#x", ErrMalformed, m)
 	}
-	return d.done()
+	return nil
 }
 
-// DecodeHello validates a Hello payload.
-func DecodeHello(p []byte) error { return checkMagic(p) }
+// DecodeHello validates a Hello payload and returns its flag bits. The
+// flags byte is optional trailing data: frames from peers that predate it
+// decode with flags 0.
+func DecodeHello(p []byte) (flags uint8, err error) {
+	d := dec{p}
+	if err = checkMagic(&d); err != nil {
+		return 0, err
+	}
+	if len(d.b) > 0 {
+		if flags, err = d.byte(); err != nil {
+			return 0, err
+		}
+	}
+	return flags, d.done()
+}
 
-// DecodeWelcome validates a Welcome payload.
-func DecodeWelcome(p []byte) error { return checkMagic(p) }
+// DecodeWelcome validates a Welcome payload and returns the server's
+// instance identifier. The field is optional trailing data: frames from
+// servers that predate it decode with instance 0.
+func DecodeWelcome(p []byte) (instance uint64, err error) {
+	d := dec{p}
+	if err = checkMagic(&d); err != nil {
+		return 0, err
+	}
+	if len(d.b) > 0 {
+		if instance, err = d.uvarint(); err != nil {
+			return 0, err
+		}
+	}
+	return instance, d.done()
+}
 
 // DecodeBootstrap parses an initial-population frame.
 func DecodeBootstrap(p []byte) (reqID uint64, objs []BootstrapObject, err error) {
@@ -670,6 +695,41 @@ func DecodeStats(p []byte) (reqID uint64, stats []Stat, err error) {
 		}
 	}
 	return reqID, stats, d.done()
+}
+
+// minDiff is the smallest wire size of one diff: 1-byte query varint +
+// kind byte + three (or, for DiffRemove, exactly three) 1-byte zero
+// counts.
+const minDiff = 5
+
+// DecodeDiffs parses the sync-diffs answer to a mutating request.
+func DecodeDiffs(p []byte) (reqID uint64, diffs []model.ResultDiff, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	n, err := d.count(minDiff)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 0 {
+		diffs = make([]model.ResultDiff, n)
+		for i := range diffs {
+			if diffs[i], err = d.diff(); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return reqID, diffs, d.done()
+}
+
+// DecodeReset parses a state-wipe request frame.
+func DecodeReset(p []byte) (reqID uint64, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, err
+	}
+	return reqID, d.done()
 }
 
 // ParseFrame splits the first complete frame off b: it validates the

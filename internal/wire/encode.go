@@ -86,18 +86,25 @@ func appendDiff(dst []byte, d model.ResultDiff) []byte {
 }
 
 // AppendHello appends the connection-opening frame a client sends first.
-func AppendHello(dst []byte) []byte {
+// flags is a bitmask of Hello* bits (HelloSyncDiffs); peers that predate
+// the flags byte omit it, which decodes as 0.
+func AppendHello(dst []byte, flags uint8) []byte {
 	start := len(dst)
 	dst = beginFrame(dst, FrameHello)
 	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = append(dst, flags)
 	return endFrame(dst, start)
 }
 
-// AppendWelcome appends the server's answer to a valid Hello.
-func AppendWelcome(dst []byte) []byte {
+// AppendWelcome appends the server's answer to a valid Hello. instance is
+// a random per-server-lifetime identifier: a reconnecting peer that sees a
+// different instance knows the server restarted and lost all state. Peers
+// that predate the field omit it, which decodes as 0.
+func AppendWelcome(dst []byte, instance uint64) []byte {
 	start := len(dst)
 	dst = beginFrame(dst, FrameWelcome)
 	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = binary.AppendUvarint(dst, instance)
 	return endFrame(dst, start)
 }
 
@@ -293,6 +300,27 @@ func AppendStats(dst []byte, reqID uint64, stats []Stat) []byte {
 		dst = appendString(dst, s.Name)
 		dst = binary.AppendVarint(dst, s.Value)
 	}
+	return endFrame(dst, start)
+}
+
+// AppendDiffs appends the sync-diffs answer to a mutating request: the
+// result diffs the operation produced, in query-id order.
+func AppendDiffs(dst []byte, reqID uint64, diffs []model.ResultDiff) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameDiffs)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, uint64(len(diffs)))
+	for _, d := range diffs {
+		dst = appendDiff(dst, d)
+	}
+	return endFrame(dst, start)
+}
+
+// AppendReset appends a state-wipe request frame.
+func AppendReset(dst []byte, reqID uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameReset)
+	dst = binary.AppendUvarint(dst, reqID)
 	return endFrame(dst, start)
 }
 

@@ -53,9 +53,17 @@ func FuzzFrame(f *testing.F) {
 func reencode(t FrameType, p []byte) (frame []byte, ok bool) {
 	switch t {
 	case FrameHello:
-		return AppendHello(nil), true
+		flags, err := DecodeHello(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendHello(nil, flags)
 	case FrameWelcome:
-		return AppendWelcome(nil), true
+		inst, err := DecodeWelcome(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendWelcome(nil, inst)
 	case FrameBootstrap:
 		req, objs, err := DecodeBootstrap(p)
 		if err != nil {
@@ -146,6 +154,18 @@ func reencode(t FrameType, p []byte) (frame []byte, ok bool) {
 			return nil, false
 		}
 		frame = AppendStats(nil, req, stats)
+	case FrameDiffs:
+		req, diffs, err := DecodeDiffs(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendDiffs(nil, req, diffs)
+	case FrameReset:
+		req, err := DecodeReset(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendReset(nil, req)
 	default:
 		return nil, false
 	}

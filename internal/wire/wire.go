@@ -112,7 +112,26 @@ const (
 	// FrameStats answers a StatsReq with a flat list of named counters —
 	// the same stats the /metrics endpoint exposes as text.
 	FrameStats
+	// FrameDiffs answers a mutating request (Bootstrap/Tick/Register/
+	// MoveQuery/RemoveQuery) on a sync-diffs connection: the result diffs
+	// that operation produced, in query-id order. Only sent to peers whose
+	// Hello carried HelloSyncDiffs; plain connections get a bare Ack.
+	FrameDiffs
+	// FrameReset wipes all server state — objects, queries, bootstrap
+	// flag — so the peer can re-bootstrap from scratch. Used by a cluster
+	// coordinator to re-sync a worker whose state is unknown.
+	FrameReset
 	frameMax // one past the last valid type
+)
+
+// Hello flag bits (the optional trailing byte of a Hello frame; a Hello
+// without the byte means flags 0).
+const (
+	// HelloSyncDiffs asks the server to answer each successful mutating
+	// request with a Diffs frame (the diffs that operation produced)
+	// instead of a bare Ack. A cluster coordinator uses this to collect
+	// per-worker diffs deterministically, request by request.
+	HelloSyncDiffs uint8 = 1 << 0
 )
 
 // String returns a short name for the frame type.
@@ -152,6 +171,10 @@ func (t FrameType) String() string {
 		return "statsreq"
 	case FrameStats:
 		return "stats"
+	case FrameDiffs:
+		return "diffs"
+	case FrameReset:
+		return "reset"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}

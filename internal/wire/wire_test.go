@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -44,8 +45,8 @@ func sampleFrames() [][]byte {
 		},
 	}
 	return [][]byte{
-		AppendHello(nil),
-		AppendWelcome(nil),
+		AppendHello(nil, HelloSyncDiffs),
+		AppendWelcome(nil, 0xDEADBEEF),
 		AppendBootstrap(nil, 1, []BootstrapObject{{ID: 1, Pos: geom.Point{X: 0.1, Y: 0.9}}, {ID: 2, Pos: geom.Point{X: 0.2, Y: 0.8}}}),
 		AppendTick(nil, 2, batch),
 		AppendRegister(nil, 3, Register{ID: 10, Kind: KindPoint, K: 8, Points: []geom.Point{{X: 0.4, Y: 0.4}}}),
@@ -65,6 +66,8 @@ func sampleFrames() [][]byte {
 		AppendGap(nil, Gap{SubID: 1, From: 5, To: 9}),
 		AppendStatsReq(nil, 15),
 		AppendStats(nil, 15, []Stat{{Name: "cpm_server_frames_in_total", Value: 12345}, {Name: "cpm_monitor_cycle_ns_p99_ns", Value: -1}}),
+		AppendDiffs(nil, 16, []model.ResultDiff{sampleDiff(), {Query: 2, Kind: model.DiffRemove, Exited: []model.ObjectID{4}}}),
+		AppendReset(nil, 17),
 	}
 }
 
@@ -85,8 +88,48 @@ func TestRoundTrip(t *testing.T) {
 		}
 	}
 
-	check(AppendHello(nil), FrameHello, DecodeHello)
-	check(AppendWelcome(nil), FrameWelcome, DecodeWelcome)
+	for _, flags := range []uint8{0, HelloSyncDiffs, 0xFF} {
+		check(AppendHello(nil, flags), FrameHello, func(p []byte) error {
+			got, err := DecodeHello(p)
+			if err != nil {
+				return err
+			}
+			if got != flags {
+				t.Fatalf("hello flags = %#x, want %#x", got, flags)
+			}
+			return nil
+		})
+	}
+	for _, inst := range []uint64{0, 7, 1<<64 - 1} {
+		check(AppendWelcome(nil, inst), FrameWelcome, func(p []byte) error {
+			got, err := DecodeWelcome(p)
+			if err != nil {
+				return err
+			}
+			if got != inst {
+				t.Fatalf("welcome instance = %d, want %d", got, inst)
+			}
+			return nil
+		})
+	}
+	// Legacy Hello/Welcome frames carry only the magic; the optional
+	// trailing fields must decode as zero.
+	legacy := beginFrame(nil, FrameHello)
+	legacy = binary.LittleEndian.AppendUint32(legacy, Magic)
+	legacy = endFrame(legacy, 0)
+	check(legacy, FrameHello, func(p []byte) error {
+		flags, err := DecodeHello(p)
+		if err != nil {
+			return err
+		}
+		if flags != 0 {
+			t.Fatalf("legacy hello flags = %#x, want 0", flags)
+		}
+		if inst, err := DecodeWelcome(p); err != nil || inst != 0 {
+			t.Fatalf("legacy welcome = (%d, %v), want (0, nil)", inst, err)
+		}
+		return nil
+	})
 
 	objs := []BootstrapObject{{ID: 1, Pos: geom.Point{X: 0.1, Y: 0.9}}, {ID: -2, Pos: geom.Point{X: 0.2, Y: 0.8}}}
 	check(AppendBootstrap(nil, 17, objs), FrameBootstrap, func(p []byte) error {
@@ -305,6 +348,34 @@ func TestRoundTrip(t *testing.T) {
 			return nil
 		})
 	}
+
+	for _, ds := range [][]model.ResultDiff{
+		nil,
+		{sampleDiff()},
+		{{Query: 2, Kind: model.DiffRemove, Exited: []model.ObjectID{4, 5}}, sampleDiff()},
+	} {
+		check(AppendDiffs(nil, 29, ds), FrameDiffs, func(p []byte) error {
+			req, got, err := DecodeDiffs(p)
+			if err != nil {
+				return err
+			}
+			if req != 29 || !reflect.DeepEqual(got, ds) {
+				t.Fatalf("diffs = (%d, %+v), want (29, %+v)", req, got, ds)
+			}
+			return nil
+		})
+	}
+
+	check(AppendReset(nil, 30), FrameReset, func(p []byte) error {
+		req, err := DecodeReset(p)
+		if err != nil {
+			return err
+		}
+		if req != 30 {
+			t.Fatalf("reset = %d, want 30", req)
+		}
+		return nil
+	})
 }
 
 // TestReaderStream writes every sample frame into one stream and reads
@@ -357,8 +428,14 @@ func TestMalformedRejected(t *testing.T) {
 				t.Fatalf("%v truncated to %d bytes accepted by ParseFrame", typ, cut)
 			}
 		}
-		// Truncations of the payload must fail the typed decoder.
+		// Truncations of the payload must fail the typed decoder. One
+		// exception: Hello/Welcome cut back to the bare 4-byte magic is
+		// the valid legacy form (flags/instance are optional trailing
+		// fields).
 		for cut := 0; cut < len(payload); cut++ {
+			if (typ == FrameHello || typ == FrameWelcome) && cut == 4 {
+				continue
+			}
 			if err := decodeAny(typ, payload[:cut]); err == nil {
 				t.Fatalf("%v payload truncated to %d bytes accepted", typ, cut)
 			}
@@ -399,10 +476,10 @@ func TestMalformedRejected(t *testing.T) {
 	}
 
 	// Bad magic in Hello.
-	h := AppendHello(nil)
+	h := AppendHello(nil, 0)
 	h[headerLen] ^= 0xFF
 	_, payload, _, _ := ParseFrame(h)
-	if err := DecodeHello(payload); !errors.Is(err, ErrMalformed) {
+	if _, err := DecodeHello(payload); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("bad magic: %v", err)
 	}
 }
@@ -412,9 +489,11 @@ func TestMalformedRejected(t *testing.T) {
 func decodeAny(t FrameType, p []byte) error {
 	switch t {
 	case FrameHello:
-		return DecodeHello(p)
+		_, err := DecodeHello(p)
+		return err
 	case FrameWelcome:
-		return DecodeWelcome(p)
+		_, err := DecodeWelcome(p)
+		return err
 	case FrameBootstrap:
 		_, _, err := DecodeBootstrap(p)
 		return err
@@ -459,6 +538,12 @@ func decodeAny(t FrameType, p []byte) error {
 		return err
 	case FrameStats:
 		_, _, err := DecodeStats(p)
+		return err
+	case FrameDiffs:
+		_, _, err := DecodeDiffs(p)
+		return err
+	case FrameReset:
+		_, err := DecodeReset(p)
 		return err
 	default:
 		return ErrMalformed
