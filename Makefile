@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke cluster-smoke fuzz
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke cluster-smoke chaos-smoke fuzz
 
 all: build test
 
@@ -16,10 +16,11 @@ test:
 # Race-sensitive packages: the sharded monitor's fan-out, the conceptual
 # partitioning it traverses, the engine it drives in parallel, the notify
 # pub/sub layer (incl. the root package's subscriber stress test), the
-# network serving layer (wire codec, TCP server, reconnecting client) and
-# the cluster coordinator's fan-out/re-sync machinery.
+# network serving layer (wire codec, TCP server, reconnecting client),
+# the cluster coordinator's fan-out/re-sync machinery and the chaos
+# fault-injection layer (whose cluster suite hammers all of the above).
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/... ./internal/chaos/...
 
 # Host a self-driving CPM monitor on :7845; watch it with
 #   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow
@@ -94,6 +95,36 @@ cluster-smoke:
 	fi; \
 	kill $$co $$w1 $$w2; wait $$co $$w1 $$w2 2>/dev/null || true; \
 	echo "cluster-smoke: ok"
+
+# Full-binary failure drill: a cpmcoord whose link to one worker runs
+# through a cpmchaos proxy replaying a seeded fault schedule (latency,
+# then a reset storm) while cpmload drives traffic. Asserts the drill
+# completes and the coordinator's metrics page is alive afterwards; the
+# strong never-silently-wrong assertions live in the in-process chaos
+# suite (internal/cluster/chaos_test.go), which this target runs first.
+chaos-smoke:
+	@set -e; \
+	$(GO) test -count=1 -run 'TestChaos' ./internal/cluster/; \
+	$(GO) build -o /tmp/cpm-chaos-server ./cmd/cpmserver; \
+	$(GO) build -o /tmp/cpm-chaos-proxy ./cmd/cpmchaos; \
+	$(GO) build -o /tmp/cpm-chaos-coord ./cmd/cpmcoord; \
+	$(GO) build -o /tmp/cpm-chaos-load ./cmd/cpmload; \
+	trap 'kill $$w1 $$w2 $$px $$co 2>/dev/null || true' EXIT; \
+	/tmp/cpm-chaos-server -addr 127.0.0.1:17851 & w1=$$!; \
+	/tmp/cpm-chaos-server -addr 127.0.0.1:17852 & w2=$$!; \
+	sleep 1; \
+	/tmp/cpm-chaos-proxy -addr 127.0.0.1:17853 -target 127.0.0.1:17851 -seed 42 \
+		-schedule '1s+2s:latency=30ms~20ms, 4s+1s:reset=0.3' & px=$$!; \
+	sleep 1; \
+	/tmp/cpm-chaos-coord -addr 127.0.0.1:17854 -metrics 127.0.0.1:19102 -op-timeout 1s \
+		-workers 127.0.0.1:17853,127.0.0.1:17852 & co=$$!; \
+	sleep 1; \
+	/tmp/cpm-chaos-load -addr 127.0.0.1:17854 -conns 2 -rate 150 -duration 7s -n 500 -queries 20 -v; \
+	if command -v curl >/dev/null; then \
+		curl -sf 127.0.0.1:19102/metrics | grep -E '^cpm_coord_(workers|worker_desyncs_total|op_retries_total|resyncs_total) '; \
+	fi; \
+	kill $$co $$px $$w1 $$w2; wait $$co $$px $$w1 $$w2 2>/dev/null || true; \
+	echo "chaos-smoke: ok"
 
 # Short fuzz runs over the wire codec (the seed corpus is checked in).
 fuzz:

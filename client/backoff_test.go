@@ -1,0 +1,152 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/internal/server"
+)
+
+// ceilFor is the un-jittered exponential ceiling of attempt n (1-based).
+func ceilFor(base, max time.Duration, attempt int) time.Duration {
+	c := base
+	for i := 1; i < attempt && c < max; i++ {
+		c *= 2
+	}
+	if c > max {
+		c = max
+	}
+	return c
+}
+
+// TestBackoffDelaySchedule pins the full-jitter schedule: every draw lies
+// in (0, min(base·2^(n-1), max)], the ceiling stops doubling at max, and
+// the draws actually vary (a degenerate constant schedule would defeat
+// the desynchronization this exists for).
+func TestBackoffDelaySchedule(t *testing.T) {
+	const base, max = 50 * time.Millisecond, 2 * time.Second
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 1; attempt <= 12; attempt++ {
+		ceil := ceilFor(base, max, attempt)
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := backoffDelay(rng, base, max, attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 10 {
+			t.Fatalf("attempt %d: only %d distinct delays in 200 draws — not jittered", attempt, len(seen))
+		}
+	}
+	// The ceiling must saturate: attempts far beyond the doubling range
+	// stay capped at max.
+	if c := ceilFor(base, max, 50); c != max {
+		t.Fatalf("ceiling after 50 attempts = %v, want cap %v", c, max)
+	}
+}
+
+// TestBackoffDeterministicReplay: the schedule replays from the rng seed.
+func TestBackoffDeterministicReplay(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = backoffDelay(rng, 10*time.Millisecond, time.Second, i+1)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v vs %v from same seed", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestReconnectJitteredSchedule drives the real reconnect loop against a
+// fake clock: the sleep hook records each requested delay instead of
+// sleeping, and a switchable dialer fails a fixed number of attempts.
+// Every recorded delay must respect the jittered exponential envelope,
+// and the attempt counter (not wall time) must drive the ceiling.
+func TestReconnectJitteredSchedule(t *testing.T) {
+	_, addr := startServer(t, cpm.Options{GridSize: 16}, server.Options{})
+
+	const base, max = 10 * time.Millisecond, 160 * time.Millisecond
+	var failing atomic.Bool
+	var dials atomic.Int64
+	c, err := Dial(addr, Options{
+		Backoff:    base,
+		MaxBackoff: max,
+		Dialer: func(a string, timeout time.Duration) (net.Conn, error) {
+			if failing.Load() {
+				dials.Add(1)
+				return nil, fmt.Errorf("injected dial failure")
+			}
+			return net.DialTimeout("tcp", a, timeout)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	var slept []time.Duration
+	const wantAttempts = 9
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.rng = rand.New(rand.NewSource(42))
+	c.sleep = func(d time.Duration) {
+		mu.Lock()
+		slept = append(slept, d)
+		n := len(slept)
+		mu.Unlock()
+		if n == wantAttempts {
+			failing.Store(false) // heal: next dial succeeds
+			close(done)
+		}
+	}
+	c.mu.Unlock()
+
+	failing.Store(true)
+	c.breakConn()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("reconnect loop made only %d attempts", dials.Load())
+	}
+	// The loop must actually recover once the dialer heals.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c.Tick(cpm.Batch{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after dialer healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	distinct := map[time.Duration]bool{}
+	for i, d := range slept[:wantAttempts] {
+		ceil := ceilFor(base, max, i+1)
+		if d <= 0 || d > ceil {
+			t.Errorf("attempt %d slept %v, want in (0, %v]", i+1, d, ceil)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct delays across %d attempts — schedule not jittered", len(distinct), wantAttempts)
+	}
+}

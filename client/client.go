@@ -34,6 +34,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -64,11 +65,18 @@ var ErrUnsent = fmt.Errorf("%w (request never sent)", ErrDisconnected)
 type Options struct {
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+	// Dialer, when set, replaces net.DialTimeout("tcp", …) for every
+	// connection attempt — the hook a fault-injection harness (or a
+	// custom transport) uses to interpose on the client's links.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 	// ReconnectWait bounds how long a request waits for a live connection
 	// before failing with ErrDisconnected (default 30s).
 	ReconnectWait time.Duration
-	// Backoff is the initial reconnect delay (default 50ms), doubled per
-	// failed attempt up to MaxBackoff (default 2s).
+	// Backoff scales the reconnect delay: attempt n sleeps a uniformly
+	// random ("full jitter") duration in (0, min(Backoff·2ⁿ, MaxBackoff)],
+	// so the coordinator and a crowd of subscribers redialing a restarted
+	// server spread out instead of arriving in synchronized waves.
+	// Defaults: Backoff 50ms, MaxBackoff 2s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 	// Buffer is the client-side per-subscription delivery buffer in events
@@ -85,6 +93,21 @@ type Options struct {
 	// RegisterDefDiffs, …). The cluster coordinator runs its worker
 	// connections in this mode.
 	SyncDiffs bool
+	// Checksum negotiates CRC32-C frame trailers in the handshake: every
+	// post-handshake frame in both directions carries a checksum the
+	// receiver verifies, so a link that corrupts bytes produces an
+	// explicit connection error instead of silently wrong decoded values.
+	// The cluster coordinator runs its worker connections in this mode;
+	// trusted LAN/localhost links can leave it off.
+	Checksum bool
+	// FrameTimeout bounds how long a frame body may take to arrive once
+	// its header has been read (default 10s, negative disables). An idle
+	// connection may wait forever between frames, but a started frame
+	// must finish: the CRC trailer cannot protect the length prefix
+	// itself, and a corrupted length that overstates the body would
+	// otherwise leave the read loop blocked on bytes that never come —
+	// wedging every in-flight request without ever surfacing an error.
+	FrameTimeout time.Duration
 	// OnConnect, when set, is called after every completed handshake —
 	// the first dial and every reconnect — with the server's instance
 	// identifier from the Welcome frame. A changed instance means the
@@ -110,6 +133,9 @@ func (o *Options) defaults() {
 	}
 	if o.Buffer <= 0 {
 		o.Buffer = 256
+	}
+	if o.FrameTimeout == 0 {
+		o.FrameTimeout = 10 * time.Second
 	}
 }
 
@@ -143,6 +169,12 @@ type Client struct {
 	instance uint64
 
 	wbuf []byte // reused encode buffer; guarded by mu
+
+	// Reconnect-schedule hooks: rng draws the jittered delays (guarded by
+	// mu), sleep pauses between attempts. Tests substitute both to verify
+	// the schedule against a fake clock.
+	rng   *rand.Rand
+	sleep func(time.Duration)
 }
 
 // Dial connects to a server. The first connection is established
@@ -156,6 +188,8 @@ func Dial(addr string, opts Options) (*Client, error) {
 		up:      make(chan struct{}),
 		pending: make(map[uint64]*call),
 		subs:    make(map[uint32]*Subscription),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:   time.Sleep,
 	}
 	nc, err := c.dialOnce()
 	if err != nil {
@@ -169,7 +203,13 @@ func Dial(addr string, opts Options) (*Client, error) {
 
 // dialOnce establishes and handshakes one connection.
 func (c *Client) dialOnce() (net.Conn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	dial := c.opts.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +222,9 @@ func (c *Client) dialOnce() (net.Conn, error) {
 	var flags uint8
 	if c.opts.SyncDiffs {
 		flags |= wire.HelloSyncDiffs
+	}
+	if c.opts.Checksum {
+		flags |= wire.HelloChecksum
 	}
 	if _, err := nc.Write(wire.AppendHello(nil, flags)); err != nil {
 		nc.Close()
@@ -287,12 +330,39 @@ func (c *Client) connLost(nc net.Conn, err error) {
 	go c.reconnect()
 }
 
-// reconnect dials with exponential backoff until it succeeds (or the
-// client closes), then re-establishes every open subscription with its
-// resume points before releasing waiting requests.
+// backoffDelay computes the delay before reconnect attempt (attempt ≥ 1,
+// i.e. after attempt failures) under full jitter: uniform in
+// (0, min(base·2^(attempt-1), max)]. Randomizing the whole interval — not
+// just a fringe around the exponential — is what desynchronizes a
+// thundering herd of clients that all lost the same server at the same
+// moment, while the exponential ceiling still bounds the aggregate dial
+// rate.
+func backoffDelay(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	ceil := base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return 1 + time.Duration(rng.Int63n(int64(ceil)))
+}
+
+// nextDelay draws the jittered delay for the given failed-attempt count.
+func (c *Client) nextDelay(attempt int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return backoffDelay(c.rng, c.opts.Backoff, c.opts.MaxBackoff, attempt)
+}
+
+// reconnect dials with jittered exponential backoff until it succeeds (or
+// the client closes), then re-establishes every open subscription with
+// its resume points before releasing waiting requests.
 func (c *Client) reconnect() {
-	delay := c.opts.Backoff
-	for {
+	for attempt := 1; ; attempt++ {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
@@ -302,12 +372,9 @@ func (c *Client) reconnect() {
 
 		nc, err := c.dialOnce()
 		if err != nil {
+			delay := c.nextDelay(attempt)
 			c.logf("client: reconnect failed: %v (retrying in %v)", err, delay)
-			time.Sleep(delay)
-			delay *= 2
-			if delay > c.opts.MaxBackoff {
-				delay = c.opts.MaxBackoff
-			}
+			c.sleep(delay)
 			continue
 		}
 
@@ -326,7 +393,11 @@ func (c *Client) reconnect() {
 			// initial SubscribeWith is still in flight sends its own frame
 			// once the connection is back.
 			if s.established {
+				mark := len(frames)
 				frames = wire.AppendSubscribe(frames, 0, s.resumeFrame(id))
+				if c.opts.Checksum {
+					frames = wire.Seal(frames, mark)
+				}
 			}
 		}
 		c.mu.Unlock()
@@ -406,6 +477,9 @@ func (c *Client) roundTrip(build func(dst []byte, reqID uint64) []byte) (*call, 
 	cl := &call{done: make(chan struct{})}
 	c.pending[reqID] = cl
 	c.wbuf = build(c.wbuf[:0], reqID)
+	if c.opts.Checksum {
+		c.wbuf = wire.Seal(c.wbuf, 0)
+	}
 	// Write under mu: requests on one connection are serialized, which
 	// keeps frame boundaries intact and request order deterministic.
 	_, werr := nc.Write(c.wbuf)
@@ -430,6 +504,18 @@ func (c *Client) ack(build func(dst []byte, reqID uint64) []byte) error {
 // readLoop dispatches inbound frames of one connection until it dies.
 func (c *Client) readLoop(nc net.Conn) {
 	r := wire.NewReader(nc)
+	if c.opts.Checksum {
+		r.EnableChecksum()
+	}
+	if d := c.opts.FrameTimeout; d > 0 {
+		r.ArmBody(func(owed bool) {
+			if owed {
+				nc.SetReadDeadline(time.Now().Add(d))
+			} else {
+				nc.SetReadDeadline(time.Time{})
+			}
+		})
+	}
 	for {
 		t, payload, err := r.Next()
 		if err != nil {

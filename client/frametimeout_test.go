@@ -1,0 +1,74 @@
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/internal/wire"
+)
+
+// TestFrameTimeoutCutsStalledBody pins the half-frame wedge fix: a peer
+// that sends a frame header whose length overstates the body (what a
+// corrupted length prefix looks like — the CRC trailer cannot cover it)
+// must produce a connection error within FrameTimeout, not leave the
+// read loop — and every in-flight request — blocked forever.
+func TestFrameTimeoutCutsStalledBody(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A hand-rolled peer: complete the handshake, then answer the first
+	// request with a header owing 1000 bytes that never arrive.
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		buf := make([]byte, 256)
+		if _, err := nc.Read(buf); err != nil { // the Hello
+			return
+		}
+		nc.Write(wire.AppendWelcome(nil, 42))
+		if _, err := nc.Read(buf); err != nil { // the request
+			return
+		}
+		hdr := make([]byte, 6)
+		binary.LittleEndian.PutUint32(hdr, 1000)
+		hdr[4] = wire.ProtocolVersion
+		hdr[5] = byte(wire.FrameAck)
+		nc.Write(hdr)
+		time.Sleep(5 * time.Second) // stall: the body never comes
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{
+		DialTimeout:   time.Second,
+		ReconnectWait: 500 * time.Millisecond,
+		FrameTimeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Tick(cpm.Batch{})
+	if err == nil {
+		t.Fatal("request against a stalled half-frame succeeded")
+	}
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("stalled body surfaced as %v, want ErrDisconnected", err)
+	}
+	// The bound: FrameTimeout (200ms) kills the conn, the request fails
+	// once no replacement arrives within ReconnectWait. Far below the 5s
+	// the peer stalls for.
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("stalled request took %v to fail; the frame deadline never fired", el)
+	}
+}

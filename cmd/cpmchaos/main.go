@@ -1,0 +1,122 @@
+// Command cpmchaos is a fault-injecting TCP proxy for CPM failure
+// drills: put it between a coordinator and a worker (or a client and a
+// server) and drive faults against the link — by hand over a control
+// endpoint, or replayably from a seeded schedule.
+//
+//	cpmserver -addr :7901 &
+//	cpmchaos  -addr :7999 -target localhost:7901 -seed 42 \
+//	          -schedule '10s+5s:partition, 30s:latency=150ms~50ms, 60s+2s:corrupt=0.5'
+//	cpmcoord  -addr :7845 -workers localhost:7999,localhost:7902
+//
+// Every probabilistic decision (corrupt which bits, reset which write)
+// draws from the -seed RNG, so a drill that found a weakness replays
+// bit-for-bit from its seed and schedule. Without -schedule the proxy
+// starts healthy and faults are driven interactively over -control:
+//
+//	cpmchaos -addr :7999 -target localhost:7901 -control :7998 &
+//	curl -s 'localhost:7998/fault?set=partition'     # blackhole the link
+//	curl -s 'localhost:7998/fault?set=none'          # heal it
+//	curl -s 'localhost:7998/fault'                   # current fault + fire counters
+//
+// The accepted fault specs are the schedule DSL classes: none, partition,
+// reset[=PROB], latency=DELAY[~JITTER], throttle=BYTES_PER_SEC,
+// slowloris=CHUNK/STALL, corrupt[=PROB], truncate[=PROB]. See
+// docs/OPERATIONS.md for drill recipes and the metric signatures each
+// fault class should produce on the coordinator.
+//
+// On SIGINT/SIGTERM (or when the schedule ends with -exit) the proxy
+// prints a per-class report of how many times each fault actually fired,
+// so a drill can prove its faults were exercised rather than hope.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cpm/internal/chaos"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7999", "listen address (the faulted side)")
+		target   = flag.String("target", "", "upstream address to proxy to (required)")
+		seed     = flag.Int64("seed", 1, "RNG seed for every probabilistic fault decision")
+		schedule = flag.String("schedule", "", "fault schedule to replay: 'AFTER[+DUR]:CLASS[=ARGS], ...' (empty = start healthy)")
+		control  = flag.String("control", "", "serve the /fault control endpoint over HTTP on this address (empty = off)")
+		exit     = flag.Bool("exit", false, "exit after the schedule finishes instead of staying up healthy")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "cpmchaos: -target is required")
+		os.Exit(2)
+	}
+	var windows []chaos.Window
+	if *schedule != "" {
+		var err error
+		if windows, err = chaos.ParseSchedule(*schedule); err != nil {
+			fmt.Fprintf(os.Stderr, "cpmchaos: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *exit && len(windows) == 0 {
+		fmt.Fprintln(os.Stderr, "cpmchaos: -exit needs a -schedule to finish")
+		os.Exit(2)
+	}
+
+	link := chaos.NewLink(*seed)
+	proxy, err := chaos.NewProxy(*addr, *target, link)
+	if err != nil {
+		log.Fatalf("cpmchaos: %v", err)
+	}
+	log.Printf("cpmchaos: proxying %s -> %s (seed %d)", proxy.Addr(), *target, *seed)
+
+	if *control != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/fault", func(w http.ResponseWriter, r *http.Request) {
+			if spec := r.URL.Query().Get("set"); spec != "" {
+				f, err := chaos.ParseFault(spec)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				link.Set(f)
+				log.Printf("cpmchaos: fault set to %s", f.Class)
+			}
+			fmt.Fprintf(w, "fault: %s\nfired: %s\n",
+				link.Fault().Class, chaos.FormatCounters(link.Counters()))
+		})
+		go func() {
+			log.Printf("cpmchaos: control endpoint on %s/fault", *control)
+			if err := http.ListenAndServe(*control, mux); err != nil {
+				log.Fatalf("cpmchaos: control: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if len(windows) > 0 {
+			log.Printf("cpmchaos: replaying %d-window schedule", len(windows))
+			chaos.RunSchedule(ctx, link, windows)
+			log.Printf("cpmchaos: schedule done, link healed")
+		}
+		if !*exit {
+			<-ctx.Done()
+		}
+	}()
+	<-done
+
+	proxy.Close()
+	log.Printf("cpmchaos: faults fired: %s", chaos.FormatCounters(link.Counters()))
+}

@@ -1,0 +1,462 @@
+// Package chaos is a deterministic fault-injection layer for the CPM
+// serving stack: a net.Conn wrapper (plus a dialer hook and a standalone
+// TCP proxy) that misbehaves on command — latency spikes, jitter,
+// bandwidth throttling, partitions/blackholes, connection resets,
+// half-writes (slow-loris), byte corruption and truncation — under a
+// seeded RNG so every run of a randomized fault schedule is replayable
+// from its seed.
+//
+// The unit of control is a Link: one shared fault setting plus the set of
+// live connections it governs. Tests wrap in-process connections with
+// Link.WrapConn or inject Link.Dialer into a client; operators put
+// cmd/cpmchaos (a Proxy) in front of a real worker and drive the same
+// schedules against a live fleet. Per-class counters record how often
+// each fault actually fired, so a drill can assert "the partition was
+// exercised" rather than hope it was.
+//
+// Faults are applied on the wrapped side only — a Proxy therefore wraps
+// just its client-facing conn and still disturbs both directions, because
+// both pipe loops cross it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class enumerates the fault families a Link can inject.
+type Class uint8
+
+const (
+	// None leaves the link healthy (the zero Fault).
+	None Class = iota
+	// Latency delays every operation by Delay ± Jitter.
+	Latency
+	// Throttle caps throughput at BytesPerSec.
+	Throttle
+	// Partition blackholes the link: reads and writes block until the
+	// fault changes or the connection is closed.
+	Partition
+	// Reset tears connections down: Set closes every live conn at once,
+	// and new operations fail (probability Prob) with a closed conn.
+	Reset
+	// SlowLoris half-writes: each write trickles out Chunk bytes at a
+	// time with a Stall pause between chunks.
+	SlowLoris
+	// Corrupt flips random bits of written bytes (probability Prob per
+	// write, on a copy — caller buffers are never modified).
+	Corrupt
+	// Truncate writes a random prefix of the buffer and closes the conn
+	// (probability Prob per write).
+	Truncate
+	numClasses
+)
+
+// NumClasses is the number of distinct fault classes (including None).
+const NumClasses = int(numClasses)
+
+// String returns the class name used by schedules and counter reports.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Latency:
+		return "latency"
+	case Throttle:
+		return "throttle"
+	case Partition:
+		return "partition"
+	case Reset:
+		return "reset"
+	case SlowLoris:
+		return "slowloris"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Fault is one fault setting. Fields beyond Class apply only where noted
+// on the Class constants; zero values pick sane defaults (Prob 0 means
+// "always" for the probabilistic classes, Chunk 0 means 1 byte).
+type Fault struct {
+	Class       Class
+	Delay       time.Duration // Latency: base delay per operation
+	Jitter      time.Duration // Latency: uniform extra delay in [0, Jitter)
+	BytesPerSec int           // Throttle: sustained throughput cap
+	Prob        float64       // Reset/Corrupt/Truncate: per-write probability (0 = 1.0)
+	Chunk       int           // SlowLoris: bytes per trickle (0 = 1)
+	Stall       time.Duration // SlowLoris: pause between trickles
+}
+
+// ErrInjected is the base error for failures the chaos layer caused
+// itself (as opposed to faults that surface through the wrapped conn).
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Link is one controllable fault domain: a current fault, the live
+// connections it governs, a seeded RNG for every probabilistic decision,
+// and per-class fire counters. All methods are safe for concurrent use.
+type Link struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	fault   Fault
+	changed chan struct{} // closed and replaced on every Set/Clear
+	conns   map[*Conn]struct{}
+
+	counts [numClasses]atomic.Int64
+}
+
+// NewLink returns a healthy link whose probabilistic decisions (corrupt
+// this write? reset now? how much jitter?) replay deterministically from
+// seed, given the same operation sequence.
+func NewLink(seed int64) *Link {
+	return &Link{
+		rng:     rand.New(rand.NewSource(seed)),
+		changed: make(chan struct{}),
+		conns:   make(map[*Conn]struct{}),
+	}
+}
+
+// Set installs f as the link's active fault, replacing any previous one.
+// Installing a Reset fault closes every live connection immediately (the
+// classic RST storm); other classes only affect operations from now on.
+func (l *Link) Set(f Fault) {
+	l.mu.Lock()
+	l.fault = f
+	close(l.changed)
+	l.changed = make(chan struct{})
+	var victims []*Conn
+	if f.Class == Reset {
+		for c := range l.conns {
+			victims = append(victims, c)
+		}
+	}
+	l.mu.Unlock()
+	for _, c := range victims {
+		l.counts[Reset].Add(1)
+		c.Close()
+	}
+}
+
+// Clear heals the link (equivalent to Set(Fault{})).
+func (l *Link) Clear() { l.Set(Fault{}) }
+
+// Fault returns the currently active fault.
+func (l *Link) Fault() Fault {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fault
+}
+
+// Counters returns how many times each fault class has fired — an
+// application of the fault to an operation, not a Set call. Index by
+// Class.
+func (l *Link) Counters() [NumClasses]int64 {
+	var out [NumClasses]int64
+	for i := range out {
+		out[i] = l.counts[i].Load()
+	}
+	return out
+}
+
+// snapshot returns the active fault and the channel that will be closed
+// when it next changes.
+func (l *Link) snapshot() (Fault, chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fault, l.changed
+}
+
+// roll draws a probability decision and a jitter fraction from the seeded
+// RNG under the lock, keeping replays deterministic.
+func (l *Link) roll() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// intn draws a bounded int from the seeded RNG.
+func (l *Link) intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return l.rng.Intn(n)
+}
+
+// hit decides a probabilistic fault application: Prob 0 means always.
+func (l *Link) hit(prob float64) bool {
+	if prob <= 0 {
+		return true
+	}
+	return l.roll() < prob
+}
+
+// forget drops a closed conn from the registry.
+func (l *Link) forget(c *Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// WrapConn wraps nc so the link's faults apply to its reads and writes.
+// The returned conn is registered with the link until closed (so a Reset
+// fault can kill it).
+func (l *Link) WrapConn(nc net.Conn) *Conn {
+	c := &Conn{Conn: nc, link: l, closed: make(chan struct{})}
+	l.mu.Lock()
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	return c
+}
+
+// DialFunc matches client.Options.Dialer: dial addr within timeout.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Dialer returns a DialFunc that dials through next (net.DialTimeout when
+// nil) and wraps the result in the link — the in-process hook for
+// injecting faults into a client without a proxy between the processes.
+// Dialing during a Partition fails immediately (a blackholed SYN), so a
+// reconnect loop keeps backing off instead of wedging inside dial.
+func (l *Link) Dialer(next DialFunc) DialFunc {
+	if next == nil {
+		next = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if f, _ := l.snapshot(); f.Class == Partition {
+			l.counts[Partition].Add(1)
+			return nil, fmt.Errorf("%w: partitioned, dial %s blackholed", ErrInjected, addr)
+		}
+		nc, err := next(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return l.WrapConn(nc), nil
+	}
+}
+
+// Conn is a net.Conn whose reads and writes pass through a Link's active
+// fault. It is created by Link.WrapConn.
+type Conn struct {
+	net.Conn
+	link      *Link
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Close closes the wrapped conn and releases anything blocked on a
+// partition.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.link.forget(c)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// await blocks while the link is partitioned, returning when the fault
+// changes or the conn closes.
+func (c *Conn) await() error {
+	for {
+		f, changed := c.link.snapshot()
+		if f.Class != Partition {
+			return nil
+		}
+		c.link.counts[Partition].Add(1)
+		select {
+		case <-changed:
+		case <-c.closed:
+			return net.ErrClosed
+		}
+	}
+}
+
+// Read applies read-side faults (partition blackholes; reset with Prob)
+// and then reads from the wrapped conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	f, _ := c.link.snapshot()
+	switch f.Class {
+	case Partition:
+		if err := c.await(); err != nil {
+			return 0, err
+		}
+	case Reset:
+		if c.link.hit(f.Prob) {
+			c.link.counts[Reset].Add(1)
+			c.Close()
+			return 0, fmt.Errorf("%w: connection reset", ErrInjected)
+		}
+	}
+	return c.Conn.Read(b)
+}
+
+// Write applies the active fault to one write. Corruption and truncation
+// operate on a copy; the caller's buffer is never modified.
+func (c *Conn) Write(b []byte) (int, error) {
+	f, _ := c.link.snapshot()
+	switch f.Class {
+	case Partition:
+		if err := c.await(); err != nil {
+			return 0, err
+		}
+	case Latency:
+		d := f.Delay
+		if f.Jitter > 0 {
+			d += time.Duration(c.link.roll() * float64(f.Jitter))
+		}
+		c.link.counts[Latency].Add(1)
+		if !c.sleep(d) {
+			return 0, net.ErrClosed
+		}
+	case Throttle:
+		return c.throttledWrite(b, f)
+	case Reset:
+		if c.link.hit(f.Prob) {
+			c.link.counts[Reset].Add(1)
+			c.Close()
+			return 0, fmt.Errorf("%w: connection reset", ErrInjected)
+		}
+	case SlowLoris:
+		return c.slowWrite(b, f)
+	case Corrupt:
+		if c.link.hit(f.Prob) && len(b) > 0 {
+			c.link.counts[Corrupt].Add(1)
+			mut := append([]byte(nil), b...)
+			flips := 1 + c.link.intn(3)
+			for i := 0; i < flips; i++ {
+				bit := c.link.intn(len(mut) * 8)
+				mut[bit/8] ^= 1 << (bit % 8)
+			}
+			n, err := c.Conn.Write(mut)
+			return n, err
+		}
+	case Truncate:
+		if c.link.hit(f.Prob) {
+			c.link.counts[Truncate].Add(1)
+			n := c.link.intn(len(b) + 1)
+			wrote, _ := c.Conn.Write(b[:n])
+			c.Close()
+			if wrote < n {
+				n = wrote
+			}
+			return n, fmt.Errorf("%w: write truncated at %d/%d bytes", ErrInjected, n, len(b))
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// sleep pauses for d, aborting early (false) if the conn closes.
+func (c *Conn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// throttledWrite paces b out at f.BytesPerSec.
+func (c *Conn) throttledWrite(b []byte, f Fault) (int, error) {
+	rate := f.BytesPerSec
+	if rate <= 0 {
+		rate = 1
+	}
+	c.link.counts[Throttle].Add(1)
+	written := 0
+	// Pace in ~10ms quanta so the cap holds for writes of any size.
+	quantum := rate / 100
+	if quantum < 1 {
+		quantum = 1
+	}
+	for written < len(b) {
+		// Clear means heal NOW: a write that started under the cap must
+		// not keep crawling after the fault is lifted, or a large frame
+		// drags the fault window far past its scheduled end.
+		if cur, _ := c.link.snapshot(); cur.Class != Throttle {
+			n, err := c.Conn.Write(b[written:])
+			return written + n, err
+		}
+		end := written + quantum
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := c.Conn.Write(b[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(b) {
+			if !c.sleep(time.Duration(float64(end-written+quantum) / float64(rate) * float64(time.Second))) {
+				return written, net.ErrClosed
+			}
+		}
+	}
+	return written, nil
+}
+
+// slowWrite trickles b out Chunk bytes at a time with Stall pauses — the
+// half-write ("slow loris") fault.
+func (c *Conn) slowWrite(b []byte, f Fault) (int, error) {
+	chunk := f.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	c.link.counts[SlowLoris].Add(1)
+	written := 0
+	for written < len(b) {
+		// Same heal-NOW rule as throttledWrite: once the fault lifts,
+		// flush the remainder at full speed.
+		if cur, _ := c.link.snapshot(); cur.Class != SlowLoris {
+			n, err := c.Conn.Write(b[written:])
+			return written + n, err
+		}
+		end := written + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := c.Conn.Write(b[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(b) && !c.sleep(f.Stall) {
+			return written, net.ErrClosed
+		}
+	}
+	return written, nil
+}
+
+// CorruptBytes returns a copy of b with flips random bits inverted, drawn
+// from a dedicated RNG seeded with seed. It is the same mutation the
+// Corrupt fault applies in-line; exported so tests can mint corrupted
+// frame corpora reproducibly.
+func CorruptBytes(seed int64, b []byte, flips int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < flips; i++ {
+		bit := rng.Intn(len(out) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+	}
+	return out
+}

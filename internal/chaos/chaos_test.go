@@ -1,0 +1,426 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped in-memory conn pair: a is governed by the link.
+func pipe(t *testing.T, l *Link) (a net.Conn, b net.Conn) {
+	t.Helper()
+	p1, p2 := net.Pipe()
+	a = l.WrapConn(p1)
+	t.Cleanup(func() { a.Close(); p2.Close() })
+	return a, p2
+}
+
+// drain reads from c into a buffer until EOF/error, on a goroutine.
+func drain(c net.Conn) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		ch <- buf.Bytes()
+	}()
+	return ch
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	l := NewLink(1)
+	a, b := pipe(t, l)
+	got := drain(b)
+	msg := []byte("hello chaos")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("healthy link altered bytes")
+	}
+	if c := l.Counters(); c != ([NumClasses]int64{}) {
+		t.Fatalf("healthy link fired counters: %v", c)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	l := NewLink(1)
+	l.Set(Fault{Class: Latency, Delay: 50 * time.Millisecond})
+	a, b := pipe(t, l)
+	got := drain(b)
+	start := time.Now()
+	a.Write([]byte("x"))
+	a.Close()
+	<-got
+	if el := time.Since(start); el < 45*time.Millisecond {
+		t.Fatalf("latency fault delayed only %v", el)
+	}
+	if l.Counters()[Latency] == 0 {
+		t.Fatal("latency counter did not fire")
+	}
+}
+
+func TestPartitionBlocksUntilHealed(t *testing.T) {
+	l := NewLink(1)
+	l.Set(Fault{Class: Partition})
+	a, b := pipe(t, l)
+	got := drain(b)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte("x"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed during partition (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	l.Clear()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after heal")
+	}
+	a.Close()
+	<-got
+	if l.Counters()[Partition] == 0 {
+		t.Fatal("partition counter did not fire")
+	}
+}
+
+func TestPartitionUnblocksOnClose(t *testing.T) {
+	l := NewLink(1)
+	l.Set(Fault{Class: Partition})
+	a, _ := pipe(t, l)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte("x"))
+		wrote <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-wrote:
+		if err == nil {
+			t.Fatal("write succeeded on closed partitioned conn")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after close")
+	}
+}
+
+func TestResetClosesLiveConns(t *testing.T) {
+	l := NewLink(1)
+	a, b := pipe(t, l)
+	got := drain(b)
+	l.Set(Fault{Class: Reset})
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded after reset storm")
+	}
+	<-got
+	if l.Counters()[Reset] == 0 {
+		t.Fatal("reset counter did not fire")
+	}
+}
+
+func TestCorruptFlipsBitsOnCopy(t *testing.T) {
+	l := NewLink(42)
+	l.Set(Fault{Class: Corrupt}) // Prob 0 = always
+	a, b := pipe(t, l)
+	got := drain(b)
+	msg := []byte("a perfectly innocent frame")
+	orig := append([]byte(nil), msg...)
+	a.Write(msg)
+	a.Close()
+	recv := <-got
+	if bytes.Equal(recv, orig) {
+		t.Fatal("corrupt fault delivered clean bytes")
+	}
+	if len(recv) != len(orig) {
+		t.Fatalf("corrupt changed length %d -> %d", len(orig), len(recv))
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("corrupt modified the caller's buffer")
+	}
+	if l.Counters()[Corrupt] == 0 {
+		t.Fatal("corrupt counter did not fire")
+	}
+}
+
+func TestTruncateWritesPrefixAndCloses(t *testing.T) {
+	l := NewLink(7)
+	l.Set(Fault{Class: Truncate})
+	a, b := pipe(t, l)
+	got := drain(b)
+	msg := bytes.Repeat([]byte("z"), 64)
+	n, err := a.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate write err = %v, want ErrInjected", err)
+	}
+	recv := <-got
+	if len(recv) != n {
+		t.Fatalf("peer got %d bytes, writer reported %d", len(recv), n)
+	}
+	if len(recv) >= len(msg) {
+		t.Fatalf("truncate delivered the whole %d-byte message", len(msg))
+	}
+	if _, err := a.Write([]byte("more")); err == nil {
+		t.Fatal("conn still writable after truncate")
+	}
+}
+
+func TestSlowLorisTrickles(t *testing.T) {
+	l := NewLink(1)
+	l.Set(Fault{Class: SlowLoris, Chunk: 4, Stall: 10 * time.Millisecond})
+	a, b := pipe(t, l)
+	got := drain(b)
+	msg := bytes.Repeat([]byte("q"), 40) // 10 chunks -> >= 9 stalls
+	start := time.Now()
+	if _, err := a.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("slow loris altered bytes")
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("slow loris took only %v for 10 chunks", el)
+	}
+}
+
+func TestThrottlePacesWrites(t *testing.T) {
+	l := NewLink(1)
+	l.Set(Fault{Class: Throttle, BytesPerSec: 1000})
+	a, b := pipe(t, l)
+	got := drain(b)
+	msg := bytes.Repeat([]byte("r"), 200) // 200B at 1000B/s ~ 200ms
+	start := time.Now()
+	if _, err := a.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("throttle altered bytes")
+	}
+	if el := time.Since(start); el < 100*time.Millisecond {
+		t.Fatalf("throttle wrote 200B at 1000B/s in %v", el)
+	}
+}
+
+// TestDeterministicReplay: two links with the same seed make identical
+// probabilistic decisions over the same operation sequence.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []byte {
+		l := NewLink(seed)
+		l.Set(Fault{Class: Corrupt, Prob: 0.7})
+		a, b := pipe(t, l)
+		got := drain(b)
+		for i := 0; i < 20; i++ {
+			a.Write([]byte("deterministic payload 0123456789"))
+		}
+		a.Close()
+		return <-got
+	}
+	first, second := run(99), run(99)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if other := run(100); bytes.Equal(first, other) {
+		t.Fatal("different seed produced identical corruption (suspicious)")
+	}
+}
+
+func TestCorruptBytesDeterministic(t *testing.T) {
+	in := []byte("some frame bytes to damage")
+	a := CorruptBytes(5, in, 3)
+	b := CorruptBytes(5, in, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("CorruptBytes not deterministic for same seed")
+	}
+	if bytes.Equal(a, in) {
+		t.Fatal("CorruptBytes returned clean bytes")
+	}
+	if string(in) != "some frame bytes to damage" {
+		t.Fatal("CorruptBytes modified its input")
+	}
+}
+
+func TestDialerWrapsAndPartitions(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+
+	l := NewLink(1)
+	dial := l.Dialer(nil)
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("dialer returned %T, want *chaos.Conn", c)
+	}
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through dialer: %q, %v", buf, err)
+	}
+
+	l.Set(Fault{Class: Partition})
+	if _, err := dial(ln.Addr().String(), time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial during partition: %v, want ErrInjected", err)
+	}
+}
+
+func TestProxyRelaysAndInjects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+
+	l := NewLink(3)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q, %v", buf, err)
+	}
+
+	// A reset storm must kill the relayed conn end to end.
+	l.Set(Fault{Class: Reset})
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("relayed conn survived reset storm")
+	}
+	if l.Counters()[Reset] == 0 {
+		t.Fatal("reset counter did not fire through proxy")
+	}
+}
+
+func TestRunSchedule(t *testing.T) {
+	l := NewLink(1)
+	ws := []Window{
+		{After: 0, For: 40 * time.Millisecond, Fault: Fault{Class: Partition}},
+		{After: 60 * time.Millisecond, Fault: Fault{Class: Corrupt, Prob: 0.5}},
+	}
+	done := make(chan struct{})
+	go func() {
+		RunSchedule(context.Background(), l, ws)
+		close(done)
+	}()
+	time.Sleep(15 * time.Millisecond)
+	if f := l.Fault(); f.Class != Partition {
+		t.Fatalf("at 15ms fault is %v, want partition", f.Class)
+	}
+	time.Sleep(35 * time.Millisecond) // t=50ms: window 1 cleared, window 2 not yet
+	if f := l.Fault(); f.Class != None {
+		t.Fatalf("at 50ms fault is %v, want none", f.Class)
+	}
+	<-done
+	if f := l.Fault(); f.Class != None {
+		t.Fatalf("after schedule fault is %v, want none (deferred clear)", f.Class)
+	}
+}
+
+func TestRunScheduleCancel(t *testing.T) {
+	l := NewLink(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		RunSchedule(ctx, l, []Window{{After: time.Hour, Fault: Fault{Class: Partition}}})
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunSchedule did not stop on cancel")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	ws, err := ParseSchedule("2s+3s:partition, 8s:latency=150ms~50ms, 12s+1s:corrupt=0.5, 14s:slowloris=3/20ms, 16s:throttle=4096, 18s:reset, 20s:none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 7 {
+		t.Fatalf("parsed %d windows, want 7", len(ws))
+	}
+	if ws[0].Fault.Class != Partition || ws[0].After != 2*time.Second || ws[0].For != 3*time.Second {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Fault.Class != Latency || ws[1].Fault.Delay != 150*time.Millisecond || ws[1].Fault.Jitter != 50*time.Millisecond {
+		t.Fatalf("window 1 = %+v", ws[1])
+	}
+	if ws[2].Fault.Class != Corrupt || ws[2].Fault.Prob != 0.5 {
+		t.Fatalf("window 2 = %+v", ws[2])
+	}
+	if ws[3].Fault.Class != SlowLoris || ws[3].Fault.Chunk != 3 || ws[3].Fault.Stall != 20*time.Millisecond {
+		t.Fatalf("window 3 = %+v", ws[3])
+	}
+	if ws[4].Fault.Class != Throttle || ws[4].Fault.BytesPerSec != 4096 {
+		t.Fatalf("window 4 = %+v", ws[4])
+	}
+	if ws[5].Fault.Class != Reset || ws[6].Fault.Class != None {
+		t.Fatalf("windows 5/6 = %+v %+v", ws[5], ws[6])
+	}
+
+	for _, bad := range []string{
+		"", "nonsense", "1s:latency", "1s:warp", "2s:partition, 1s:reset", "x:partition", "1s+y:reset",
+		"1s:corrupt=1.5", "1s:throttle=-3", "1s:slowloris=3",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatCounters(t *testing.T) {
+	l := NewLink(1)
+	if got := FormatCounters(l.Counters()); got != "none" {
+		t.Fatalf("fresh counters = %q", got)
+	}
+	l.counts[Partition].Add(3)
+	l.counts[Reset].Add(1)
+	if got := FormatCounters(l.Counters()); got != "partition=3 reset=1" {
+		t.Fatalf("counters = %q", got)
+	}
+}

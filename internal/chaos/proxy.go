@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP proxy that forwards every accepted connection to a fixed
+// target through a Link — the process-boundary form of WrapConn, used by
+// cmd/cpmchaos to run fault drills against a live fleet. Only the
+// client-facing conn is wrapped: both relay loops cross it, so one wrap
+// point disturbs both directions.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	link   *Link
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted int64
+}
+
+// NewProxy listens on listen ("host:port", empty port for ephemeral) and
+// forwards connections to target through link.
+func NewProxy(listen, target string, link *Link) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, link: link}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Link returns the fault domain governing this proxy's connections.
+func (p *Proxy) Link() *Link { return p.link }
+
+// Close stops accepting and tears down every relayed connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.link.Set(Fault{Class: Reset}) // kill live relays
+	p.link.Clear()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			in.Close()
+			return
+		}
+		p.accepted++
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.relay(in)
+	}
+}
+
+// relay dials the target and shuttles bytes both ways until either side
+// fails; the wrapped client-facing conn injects the faults.
+func (p *Proxy) relay(in net.Conn) {
+	defer p.wg.Done()
+	out, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		in.Close()
+		return
+	}
+	wrapped := p.link.WrapConn(in)
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(out, wrapped) // client -> target
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(wrapped, out) // target -> client
+		done <- struct{}{}
+	}()
+	<-done
+	wrapped.Close()
+	out.Close()
+	<-done
+}

@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Window is one step of a fault schedule: at After from schedule start,
+// install Fault; For later (0 = until the next window, or until the
+// schedule ends), clear it.
+type Window struct {
+	After time.Duration
+	For   time.Duration
+	Fault Fault
+}
+
+// RunSchedule plays ws against link in real time, clearing the link when
+// every window has elapsed or ctx is canceled. Windows must be sorted by
+// After; a window whose For overlaps the next window simply gets replaced
+// when the next one starts (one active fault per link).
+func RunSchedule(ctx context.Context, link *Link, ws []Window) {
+	start := time.Now()
+	defer link.Clear()
+	for i, w := range ws {
+		if !sleepUntil(ctx, start.Add(w.After)) {
+			return
+		}
+		link.Set(w.Fault)
+		if w.For > 0 {
+			end := start.Add(w.After + w.For)
+			// A later window may preempt this one's clear.
+			if i+1 < len(ws) && ws[i+1].After < w.After+w.For {
+				continue
+			}
+			if !sleepUntil(ctx, end) {
+				return
+			}
+			link.Clear()
+		}
+	}
+}
+
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ParseSchedule parses the cmd/cpmchaos schedule DSL: comma-separated
+// windows of the form
+//
+//	AFTER[+DUR]:CLASS[=ARGS]
+//
+// where AFTER and DUR are Go durations and CLASS is one of none (clear),
+// latency=DELAY[~JITTER], throttle=BYTES_PER_SEC, partition, reset[=PROB],
+// slowloris=CHUNK/STALL, corrupt[=PROB], truncate[=PROB]. Example:
+//
+//	2s+3s:partition, 8s:latency=150ms~50ms, 12s+1s:corrupt=0.5
+func ParseSchedule(s string) ([]Window, error) {
+	var out []Window
+	last := time.Duration(-1)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		timing, spec, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("chaos: window %q: want AFTER[+DUR]:CLASS[=ARGS]", part)
+		}
+		var w Window
+		afterStr, durStr, hasDur := strings.Cut(timing, "+")
+		after, err := time.ParseDuration(strings.TrimSpace(afterStr))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: window %q: bad offset: %v", part, err)
+		}
+		w.After = after
+		if hasDur {
+			d, err := time.ParseDuration(strings.TrimSpace(durStr))
+			if err != nil {
+				return nil, fmt.Errorf("chaos: window %q: bad duration: %v", part, err)
+			}
+			w.For = d
+		}
+		if w.After <= last {
+			return nil, fmt.Errorf("chaos: window %q: offsets must be strictly increasing", part)
+		}
+		last = w.After
+		if w.Fault, err = ParseFault(spec); err != nil {
+			return nil, fmt.Errorf("chaos: window %q: %v", part, err)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: empty schedule")
+	}
+	return out, nil
+}
+
+// ParseFault parses one CLASS[=ARGS] fault spec of the schedule DSL.
+func ParseFault(spec string) (Fault, error) {
+	name, args, hasArgs := strings.Cut(strings.TrimSpace(spec), "=")
+	name = strings.TrimSpace(name)
+	args = strings.TrimSpace(args)
+	var f Fault
+	switch name {
+	case "none", "clear", "heal":
+		return Fault{}, nil
+	case "latency":
+		f.Class = Latency
+		if !hasArgs {
+			return f, fmt.Errorf("latency needs =DELAY[~JITTER]")
+		}
+		base, jit, hasJit := strings.Cut(args, "~")
+		d, err := time.ParseDuration(strings.TrimSpace(base))
+		if err != nil {
+			return f, fmt.Errorf("bad latency delay: %v", err)
+		}
+		f.Delay = d
+		if hasJit {
+			j, err := time.ParseDuration(strings.TrimSpace(jit))
+			if err != nil {
+				return f, fmt.Errorf("bad latency jitter: %v", err)
+			}
+			f.Jitter = j
+		}
+		return f, nil
+	case "throttle":
+		f.Class = Throttle
+		if !hasArgs {
+			return f, fmt.Errorf("throttle needs =BYTES_PER_SEC")
+		}
+		n, err := strconv.Atoi(args)
+		if err != nil || n <= 0 {
+			return f, fmt.Errorf("bad throttle rate %q", args)
+		}
+		f.BytesPerSec = n
+		return f, nil
+	case "partition":
+		f.Class = Partition
+		return f, nil
+	case "reset", "corrupt", "truncate":
+		switch name {
+		case "reset":
+			f.Class = Reset
+		case "corrupt":
+			f.Class = Corrupt
+		case "truncate":
+			f.Class = Truncate
+		}
+		if hasArgs {
+			p, err := strconv.ParseFloat(args, 64)
+			if err != nil || p < 0 || p > 1 {
+				return f, fmt.Errorf("bad %s probability %q", name, args)
+			}
+			f.Prob = p
+		}
+		return f, nil
+	case "slowloris":
+		f.Class = SlowLoris
+		if !hasArgs {
+			return f, fmt.Errorf("slowloris needs =CHUNK/STALL")
+		}
+		chunkStr, stallStr, ok := strings.Cut(args, "/")
+		if !ok {
+			return f, fmt.Errorf("slowloris needs =CHUNK/STALL")
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || n < 1 {
+			return f, fmt.Errorf("bad slowloris chunk %q", chunkStr)
+		}
+		f.Chunk = n
+		d, err := time.ParseDuration(strings.TrimSpace(stallStr))
+		if err != nil {
+			return f, fmt.Errorf("bad slowloris stall: %v", err)
+		}
+		f.Stall = d
+		return f, nil
+	default:
+		return f, fmt.Errorf("unknown fault class %q", name)
+	}
+}
+
+// FormatCounters renders a Link's counters as "class=N" pairs for logs
+// and the cpmchaos report, omitting classes that never fired.
+func FormatCounters(counts [NumClasses]int64) string {
+	var b strings.Builder
+	for c := Class(0); c < numClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c, counts[c])
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}

@@ -72,6 +72,7 @@ import (
 	"maps"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"cpm"
@@ -135,6 +136,21 @@ type Coordinator struct {
 	// is discarded.
 	gen uint64
 
+	// skipGenCheck disables the staleness check above. It exists only as
+	// the chaos suite's negative control — a seeded bug proving the
+	// harness detects the divergence the check prevents. Never set in
+	// production paths.
+	skipGenCheck bool
+
+	// The current operation's footprint, stamped by each mutating
+	// operation before its fan-out: the object and query ids it touches
+	// (opFull for Bootstrap/Reset, which touch everything). desync
+	// charges it to a worker's dirty sets so an incremental re-sync can
+	// replay exactly what was missed or half-applied.
+	opObjIDs   []model.ObjectID
+	opQueryIDs []model.QueryID
+	opFull     bool
+
 	// The state mirror.
 	objs    map[model.ObjectID]geom.Point
 	defs    map[model.QueryID]wire.Register
@@ -151,6 +167,13 @@ type Coordinator struct {
 	// Cycle accounting (Tick fan-out wall time).
 	cycles      int64
 	lastCycleNs int64
+
+	// Cached fleet-stats aggregation (stats.go). Guarded by its own
+	// mutex: reads arrive on the hosting server's scrape path, which the
+	// coordinator contract does not otherwise serialize against.
+	statsMu    sync.Mutex
+	statsAt    time.Time
+	statsCache fleetStats
 }
 
 // New dials every worker, wipes any state it may hold (Reset) and returns
@@ -175,9 +198,14 @@ func New(opts Options) (*Coordinator, error) {
 			addr:       addr,
 			rtt:        c.met.reg.Histogram(fmt.Sprintf("cpm_coord_worker%d_rtt_ns", i)),
 			reconnects: c.met.reg.Counter(fmt.Sprintf("cpm_coord_worker%d_reconnects_total", i)),
+			healthG:    c.met.reg.Gauge(fmt.Sprintf("cpm_coord_worker%d_health", i)),
 		}
 		copts := opts.Client
 		copts.SyncDiffs = true
+		// Coordinator↔worker links cross real networks; CRC trailers turn
+		// silent in-flight corruption into loud request failures the
+		// desync/re-sync machinery already knows how to absorb.
+		copts.Checksum = true
 		copts.OnConnect = func(instance uint64) {
 			if w.seen.Swap(instance) != 0 {
 				w.reconnects.Inc()
@@ -263,6 +291,8 @@ func (c *Coordinator) logf(format string, args ...any) {
 // worker. Call once, before registering queries, like cpm.Monitor's.
 func (c *Coordinator) Bootstrap(objs map[model.ObjectID]geom.Point) {
 	c.beginOp()
+	c.opFull = true
+	c.chargeDesynced()
 	c.objs = maps.Clone(objs)
 	if c.objs == nil {
 		c.objs = make(map[model.ObjectID]geom.Point)
@@ -279,6 +309,8 @@ func (c *Coordinator) Bootstrap(objs map[model.ObjectID]geom.Point) {
 func (c *Coordinator) Tick(b model.Batch) {
 	start := time.Now()
 	c.beginOp()
+	c.stampBatch(b)
+	c.chargeDesynced()
 	c.applyBatchToMirror(b)
 	per := c.partition(b)
 	diffs, _ := c.fanOut(c.synced(), true, func(w *worker) ([]model.ResultDiff, error) {
@@ -322,6 +354,7 @@ func (c *Coordinator) registerDef(def wire.Register) error {
 	if _, ok := c.defs[def.ID]; ok {
 		return fmt.Errorf("cluster: query %d already registered", def.ID)
 	}
+	c.opQueryIDs = []model.QueryID{def.ID}
 	w := c.workers[c.owner(def.ID)]
 	var diffs []model.ResultDiff
 	if w.synced {
@@ -333,6 +366,7 @@ func (c *Coordinator) registerDef(def wire.Register) error {
 			return appErr
 		}
 	} else {
+		c.markDirty(w)
 		c.gapQueries(def.ID)
 	}
 	c.defs[def.ID] = cloneDef(def)
@@ -351,6 +385,7 @@ func (c *Coordinator) MoveQuery(id model.QueryID, to ...geom.Point) error {
 	if len(to) != len(def.Points) {
 		return fmt.Errorf("cluster: query %d moves with %d points, got %d", id, len(def.Points), len(to))
 	}
+	c.opQueryIDs = []model.QueryID{id}
 	w := c.workers[c.owner(id)]
 	var diffs []model.ResultDiff
 	if w.synced {
@@ -362,6 +397,7 @@ func (c *Coordinator) MoveQuery(id model.QueryID, to ...geom.Point) error {
 			return appErr
 		}
 	} else {
+		c.markDirty(w)
 		c.gapQueries(id)
 	}
 	def.Points = append([]geom.Point(nil), to...)
@@ -379,12 +415,15 @@ func (c *Coordinator) RemoveQuery(id model.QueryID) {
 	if _, ok := c.defs[id]; !ok {
 		return
 	}
+	c.opQueryIDs = []model.QueryID{id}
 	w := c.workers[c.owner(id)]
 	var diffs []model.ResultDiff
 	if w.synced {
 		diffs, _ = c.fanOut([]*worker{w}, false, func(w *worker) ([]model.ResultDiff, error) {
 			return w.cl.RemoveQueryDiffs(id)
 		})
+	} else {
+		c.markDirty(w)
 	}
 	if len(diffs) == 0 {
 		diffs = []model.ResultDiff{{Query: id, Kind: model.DiffRemove, Exited: resultIDs(c.results[id])}}
@@ -398,6 +437,8 @@ func (c *Coordinator) RemoveQuery(id model.QueryID) {
 // every installed query, matching cpm.Monitor.Reset.
 func (c *Coordinator) Reset() {
 	c.beginOp()
+	c.opFull = true
+	c.chargeDesynced()
 	c.fanOut(c.synced(), true, func(w *worker) ([]model.ResultDiff, error) {
 		return nil, w.cl.Reset()
 	})
@@ -465,16 +506,27 @@ func (c *Coordinator) Cycles() int64 { return c.cycles }
 // LastCycleNanos returns the wall time of the most recent Tick fan-out.
 func (c *Coordinator) LastCycleNanos() int64 { return c.lastCycleNs }
 
-// GridSize is not meaningful at the coordinator (each worker sizes its
-// own grid); it reports 0. Scrape the workers' /metrics for theirs.
-func (c *Coordinator) GridSize() int { return 0 }
+// GridSize reports the largest grid any worker currently runs (each
+// worker sizes its own grid; the maximum is the honest single number),
+// aggregated over the wire Stats frames with a short cache — see
+// fleetStats in stats.go.
+func (c *Coordinator) GridSize() int { return c.fleetStats().grid }
 
-// Rebalances is not meaningful at the coordinator; it reports 0.
-func (c *Coordinator) Rebalances() int64 { return 0 }
+// Rebalances reports the fleet-wide total of online grid rebalances,
+// summed across workers.
+func (c *Coordinator) Rebalances() int64 { return c.fleetStats().rebalances }
 
-// Stats reports no engine work counters: the cell accesses and heap
-// operations happen on the workers. Scrape their /metrics instead.
-func (c *Coordinator) Stats() model.Stats { return model.Stats{} }
+// Stats reports the fleet-wide engine work counters — cell accesses,
+// objects scanned, heap operations and friends, summed across workers.
+// The paper's work metrics therefore stay observable on a coordinator's
+// metrics page, not just per worker.
+func (c *Coordinator) Stats() model.Stats { return c.fleetStats().stats }
+
+// WorkerHealth returns worker i's health state (see Health).
+func (c *Coordinator) WorkerHealth(i int) Health { return c.workers[i].health }
+
+// WorkerSynced reports whether worker i currently holds exact state.
+func (c *Coordinator) WorkerSynced(i int) bool { return c.workers[i].synced }
 
 // InvalidUpdates counts stream elements the mirror rejected under the
 // engine's own rules (unknown ids, duplicate inserts, non-finite
@@ -528,6 +580,17 @@ func (c *Coordinator) publish(diffs []model.ResultDiff) {
 }
 
 // ---- Mirror maintenance ---------------------------------------------------
+
+// stampBatch records one tick's footprint — every object and query id it
+// touches — for dirty tracking (see markDirty).
+func (c *Coordinator) stampBatch(b model.Batch) {
+	for _, u := range b.Objects {
+		c.opObjIDs = append(c.opObjIDs, u.ID)
+	}
+	for _, qu := range b.Queries {
+		c.opQueryIDs = append(c.opQueryIDs, qu.ID)
+	}
+}
 
 // applyBatchToMirror applies one tick's updates to the object mirror and
 // the definition mirror, with the engine's invalid-update semantics

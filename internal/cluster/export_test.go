@@ -1,0 +1,7 @@
+package cluster
+
+// DisableGenCheck turns off the re-sync generation staleness check — the
+// chaos suite's negative control: with the check gone, a re-sync built
+// from a snapshot that missed operations is accepted anyway, and the
+// suite must flag the resulting divergence. Test-only.
+func (c *Coordinator) DisableGenCheck() { c.skipGenCheck = true }

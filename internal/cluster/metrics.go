@@ -14,9 +14,13 @@ type coordMetrics struct {
 	workersSynced *metrics.Gauge     // cpm_coord_workers_synced
 	fanout        *metrics.Histogram // cpm_coord_fanout_ns
 	opTimeouts    *metrics.Counter   // cpm_coord_op_timeouts_total
+	opRetries     *metrics.Counter   // cpm_coord_op_retries_total
 	desyncs       *metrics.Counter   // cpm_coord_worker_desyncs_total
 	resyncs       *metrics.Counter   // cpm_coord_resyncs_total
 	resyncFails   *metrics.Counter   // cpm_coord_resync_failures_total
+	resyncFull    *metrics.Counter   // cpm_coord_resync_full_total
+	resyncIncr    *metrics.Counter   // cpm_coord_resync_incremental_total
+	resyncObjects *metrics.Counter   // cpm_coord_resync_objects_sent_total
 	gapQueries    *metrics.Counter   // cpm_coord_gap_queries_total
 }
 
@@ -28,9 +32,13 @@ func newCoordMetrics(nWorkers int) *coordMetrics {
 		workersSynced: reg.Gauge("cpm_coord_workers_synced"),
 		fanout:        reg.Histogram("cpm_coord_fanout_ns"),
 		opTimeouts:    reg.Counter("cpm_coord_op_timeouts_total"),
+		opRetries:     reg.Counter("cpm_coord_op_retries_total"),
 		desyncs:       reg.Counter("cpm_coord_worker_desyncs_total"),
 		resyncs:       reg.Counter("cpm_coord_resyncs_total"),
 		resyncFails:   reg.Counter("cpm_coord_resync_failures_total"),
+		resyncFull:    reg.Counter("cpm_coord_resync_full_total"),
+		resyncIncr:    reg.Counter("cpm_coord_resync_incremental_total"),
+		resyncObjects: reg.Counter("cpm_coord_resync_objects_sent_total"),
 		gapQueries:    reg.Counter("cpm_coord_gap_queries_total"),
 	}
 }

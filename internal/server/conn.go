@@ -61,6 +61,11 @@ type conn struct {
 	// HelloSyncDiffs: successful mutating requests are answered with the
 	// operation's diffs instead of a bare ack.
 	sync bool
+	// checksum is set when the Hello carried HelloChecksum: inbound frames
+	// are verified and every outbound frame after the Welcome is sealed
+	// with a CRC32-C trailer. Written before the Welcome is queued, so the
+	// writer observes it through the channel's happens-before edge.
+	checksum bool
 
 	mu   sync.Mutex
 	subs map[uint32]*cpm.Subscription
@@ -169,8 +174,25 @@ func (c *conn) readLoop() error {
 		c.srv.mon.TakeDiffs() // discard anything predating this connection
 		c.srv.monMu.Unlock()
 	}
-	// Handshake done: established connections may idle indefinitely.
+	if flags&wire.HelloChecksum != 0 {
+		c.checksum = true
+		r.EnableChecksum()
+	}
+	// Handshake done: established connections may idle indefinitely —
+	// but a frame whose header arrived must finish within the handshake
+	// bound. The CRC trailer cannot cover the length prefix, so a
+	// corrupted length overstating the body would otherwise pin this
+	// reader on bytes that never come.
 	c.nc.SetReadDeadline(time.Time{})
+	if d := c.srv.opts.HandshakeTimeout; d > 0 {
+		r.ArmBody(func(owed bool) {
+			if owed {
+				c.nc.SetReadDeadline(time.Now().Add(d))
+			} else {
+				c.nc.SetReadDeadline(time.Time{})
+			}
+		})
+	}
 	if !c.send(outFrame{kind: outWelcome, seq: c.srv.instance}) {
 		return nil
 	}
@@ -485,14 +507,14 @@ func (c *conn) writeLoop() {
 		select {
 		case f := <-c.out:
 			c.countOut(f)
-			buf = appendOut(buf[:0], f)
+			buf = c.appendSealed(buf[:0], f)
 			// Coalesce whatever else is already queued into this write.
 		coalesce:
 			for len(buf) < 1<<16 {
 				select {
 				case g := <-c.out:
 					c.countOut(g)
-					buf = appendOut(buf, g)
+					buf = c.appendSealed(buf, g)
 				default:
 					break coalesce
 				}
@@ -523,6 +545,18 @@ func (c *conn) countOut(f outFrame) {
 	case outGap:
 		met.gapFrames.Inc()
 	}
+}
+
+// appendSealed encodes one queued frame, adding the CRC trailer on
+// checksum connections. The Welcome is exempt: it completes the handshake
+// that negotiates the mode.
+func (c *conn) appendSealed(buf []byte, f outFrame) []byte {
+	mark := len(buf)
+	buf = appendOut(buf, f)
+	if c.checksum && f.kind != outWelcome {
+		buf = wire.Seal(buf, mark)
+	}
+	return buf
 }
 
 // appendOut encodes one queued frame.

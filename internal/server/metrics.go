@@ -79,6 +79,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	monGauge("cpm_monitor_grid_size", func() int64 { return int64(s.mon.GridSize()) })
 	monGauge("cpm_monitor_rebalances_total", func() int64 { return s.mon.Rebalances() })
 	monGauge("cpm_monitor_objects_scanned_total", func() int64 { return s.mon.Stats().ObjectsProcessed })
+	monGauge("cpm_monitor_cell_accesses_total", func() int64 { return s.mon.Stats().CellAccesses })
+	monGauge("cpm_monitor_heap_ops_total", func() int64 { return s.mon.Stats().HeapOps })
+	monGauge("cpm_monitor_recomputations_total", func() int64 { return s.mon.Stats().Recomputations })
+	monGauge("cpm_monitor_full_searches_total", func() int64 { return s.mon.Stats().FullSearches })
+	monGauge("cpm_monitor_short_circuits_total", func() int64 { return s.mon.Stats().ShortCircuits })
 	monGauge("cpm_monitor_invalid_updates_total", func() int64 { return s.mon.InvalidUpdates() })
 	return m
 }

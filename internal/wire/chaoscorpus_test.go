@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cpm/internal/chaos"
+)
+
+// chaosCorpusDir holds decoder-rejection seeds minted by the chaos layer:
+// valid frames put through the same bit-flip mutation the Corrupt fault
+// applies on a live link, kept only when the decoder rejects the result.
+// They feed FuzzFrame (the fuzzer mutates onward from real corruption
+// shapes) and TestChaosCorpusRejected (the rejections stay rejections).
+const chaosCorpusDir = "testdata/fuzz/FuzzFrame"
+
+// mintChaosCorpus regenerates the seed-chaos-* files:
+//
+//	WIRE_MINT_CHAOS_CORPUS=1 go test ./internal/wire -run TestMintChaosCorpus
+//
+// Minting is deterministic (chaos.CorruptBytes is seeded), so a re-mint
+// only changes the files when the frame encodings themselves change.
+func TestMintChaosCorpus(t *testing.T) {
+	if os.Getenv("WIRE_MINT_CHAOS_CORPUS") == "" {
+		t.Skip("set WIRE_MINT_CHAOS_CORPUS=1 to regenerate the chaos corpus")
+	}
+	frames := sampleFrames()
+	minted := 0
+	for fi, frame := range frames {
+		for seed := int64(1); seed <= 8 && minted < 24; seed++ {
+			mut := chaos.CorruptBytes(seed*31+int64(fi), frame, 1+int(seed%3))
+			if !frameRejected(mut) {
+				continue // corruption survived decoding; not a rejection seed
+			}
+			name := filepath.Join(chaosCorpusDir, fmt.Sprintf("seed-chaos-%02d", minted))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", mut)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			minted++
+			break // one rejection per source frame is plenty of shape variety
+		}
+	}
+	t.Logf("minted %d chaos corpus files", minted)
+	if minted == 0 {
+		t.Fatal("no corruption was rejected — the decoder validates nothing?")
+	}
+}
+
+// TestChaosCorpusRejected walks the checked-in seed-chaos-* corpus and
+// asserts every entry still fails to decode — without panicking. A
+// corruption the decoder once caught must never start passing silently.
+func TestChaosCorpusRejected(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(chaosCorpusDir, "seed-chaos-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no seed-chaos-* corpus checked in; run TestMintChaosCorpus")
+	}
+	for _, name := range files {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := parseCorpusFile(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !frameRejected(data) {
+			t.Errorf("%s: corrupted frame now decodes cleanly — a rejection regressed", name)
+		}
+	}
+}
+
+// frameRejected reports whether b fails to parse as a frame or fails its
+// typed decoder — the property the chaos corpus entries are selected for.
+func frameRejected(b []byte) bool {
+	typ, payload, _, err := ParseFrame(b)
+	if err != nil {
+		return true
+	}
+	return decodeAny(typ, payload) != nil
+}
+
+// parseCorpusFile extracts the byte literal from one Go fuzz corpus file
+// ("go test fuzz v1" followed by []byte("...")).
+func parseCorpusFile(s string) ([]byte, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a v1 fuzz corpus file")
+	}
+	lit := strings.TrimSpace(lines[1])
+	lit = strings.TrimPrefix(lit, "[]byte(")
+	lit = strings.TrimSuffix(lit, ")")
+	str, err := strconv.Unquote(lit)
+	if err != nil {
+		return nil, fmt.Errorf("bad byte literal: %v", err)
+	}
+	return []byte(str), nil
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"cpm/internal/model"
+)
+
+// sealFrame encodes one Ack frame and seals it, returning the sealed bytes.
+func sealFrame(t *testing.T, reqID uint64, msg string) []byte {
+	t.Helper()
+	buf := AppendAck(nil, reqID, msg)
+	return Seal(buf, 0)
+}
+
+// TestSealRoundTrip: a sealed frame decodes identically through a
+// checksum-enabled Reader, and the trailer is stripped before decoding.
+func TestSealRoundTrip(t *testing.T) {
+	plain := AppendAck(nil, 7, "boom")
+	sealed := sealFrame(t, 7, "boom")
+	if len(sealed) != len(plain)+4 {
+		t.Fatalf("sealed frame is %d bytes, want plain %d + 4", len(sealed), len(plain))
+	}
+
+	r := NewReader(bytes.NewReader(sealed))
+	r.EnableChecksum()
+	ft, payload, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if ft != FrameAck {
+		t.Fatalf("frame type %v, want ack", ft)
+	}
+	reqID, errMsg, err := DecodeAck(payload)
+	if err != nil {
+		t.Fatalf("DecodeAck: %v", err)
+	}
+	if reqID != 7 || errMsg != "boom" {
+		t.Fatalf("decoded (%d, %q), want (7, boom)", reqID, errMsg)
+	}
+}
+
+// TestSealMidBuffer: Seal back-patches the right frame when the buffer
+// already holds earlier frames (the server's coalescing writer).
+func TestSealMidBuffer(t *testing.T) {
+	buf := AppendAck(nil, 1, "")
+	buf = Seal(buf, 0)
+	mark := len(buf)
+	buf = AppendResult(buf, 2, 9, true, []model.Neighbor{{ID: 3, Dist: 1.5}})
+	buf = Seal(buf, mark)
+
+	r := NewReader(bytes.NewReader(buf))
+	r.EnableChecksum()
+	for i := 0; i < 2; i++ {
+		if _, _, err := r.Next(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after two frames: %v, want EOF", err)
+	}
+}
+
+// TestChecksumDetectsCorruption: flipping any single bit of a sealed frame
+// (header version/type, payload, or trailer) must surface an error from a
+// checksum-enabled Reader — never a silently different decode.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	sealed := sealFrame(t, 42, "ok")
+	for i := 4 * 8; i < len(sealed)*8; i++ { // skip length prefix: covered below
+		mut := append([]byte(nil), sealed...)
+		mut[i/8] ^= 1 << (i % 8)
+		r := NewReader(bytes.NewReader(mut))
+		r.EnableChecksum()
+		if _, _, err := r.Next(); err == nil {
+			t.Fatalf("bit flip at offset %d.%d went undetected", i/8, i%8)
+		}
+	}
+}
+
+// TestChecksumMismatchIsErrChecksum: corruption confined to the payload
+// region reports ErrChecksum specifically.
+func TestChecksumMismatchIsErrChecksum(t *testing.T) {
+	sealed := sealFrame(t, 42, "ok")
+	sealed[headerLen+1] ^= 0x10
+	r := NewReader(bytes.NewReader(sealed))
+	r.EnableChecksum()
+	if _, _, err := r.Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption: %v, want ErrChecksum", err)
+	}
+}
+
+// TestChecksumRejectsUnsealed: a checksum-enabled Reader must reject plain
+// frames (a peer that did not honor the negotiation), including ones too
+// short to hold a trailer.
+func TestChecksumRejectsUnsealed(t *testing.T) {
+	plain := AppendStatsReq(nil, 1) // 1-byte payload: shorter than a trailer
+	r := NewReader(bytes.NewReader(plain))
+	r.EnableChecksum()
+	if _, _, err := r.Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("short unsealed frame: %v, want ErrChecksum", err)
+	}
+
+	plain = AppendAck(nil, 99, "long enough payload")
+	r = NewReader(bytes.NewReader(plain))
+	r.EnableChecksum()
+	if _, _, err := r.Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("unsealed frame: %v, want ErrChecksum", err)
+	}
+}
+
+// TestPlainReaderSkipsVerification: without EnableChecksum the trailer is
+// not stripped — sealed and plain framing are distinct modes, not
+// auto-detected.
+func TestPlainReaderSkipsVerification(t *testing.T) {
+	sealed := sealFrame(t, 5, "")
+	r := NewReader(bytes.NewReader(sealed))
+	_, payload, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if _, _, err := DecodeAck(payload); err == nil {
+		t.Fatal("plain decode of sealed frame succeeded; trailer should look like trailing garbage")
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -765,14 +766,32 @@ func ParseFrame(b []byte) (t FrameType, payload, rest []byte, err error) {
 // slice Next returns is valid only until the following Next call. Header
 // validation matches ParseFrame.
 type Reader struct {
-	r   io.Reader
-	hdr [headerLen]byte
-	buf []byte
+	r        io.Reader
+	hdr      [headerLen]byte
+	buf      []byte
+	checksum bool
+	armBody  func(owed bool)
 }
 
 // NewReader wraps a byte stream (typically a net.Conn or a bufio.Reader
 // over one).
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// EnableChecksum switches the reader to checksummed framing: every
+// subsequent frame must end in the CRC32-C trailer Seal appends, which is
+// verified and stripped before the payload is returned. Call it after the
+// handshake once the peer's Hello/Welcome confirmed HelloChecksum (those
+// two frames are never sealed). A bad trailer surfaces as ErrChecksum.
+func (r *Reader) EnableChecksum() { r.checksum = true }
+
+// ArmBody registers a hook called with owed=true once a frame header has
+// arrived (a body is now due) and owed=false when the frame is complete.
+// Callers use it to arm a read deadline on the underlying conn: the CRC
+// trailer does not cover the length prefix, so a corrupted length that
+// overstates the body would otherwise block ReadFull forever on a stream
+// whose framing is already lost — the one corruption a checksum cannot
+// turn into a prompt error.
+func (r *Reader) ArmBody(f func(owed bool)) { r.armBody = f }
 
 // Next reads one frame, blocking until it is complete. A clean EOF on a
 // frame boundary is io.EOF; EOF mid-frame is io.ErrUnexpectedEOF.
@@ -799,11 +818,30 @@ func (r *Reader) Next() (FrameType, []byte, error) {
 		r.buf = make([]byte, plen)
 	}
 	r.buf = r.buf[:plen]
+	if r.armBody != nil {
+		r.armBody(true)
+	}
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return 0, nil, err
+	}
+	if r.armBody != nil {
+		r.armBody(false)
+	}
+	if r.checksum {
+		if plen < 4 {
+			return 0, nil, fmt.Errorf("%w: %s frame too short for trailer", ErrChecksum, t)
+		}
+		body := r.buf[:plen-4]
+		want := binary.LittleEndian.Uint32(r.buf[plen-4:])
+		sum := crc32.Checksum(r.hdr[4:6], castagnoli)
+		sum = crc32.Update(sum, castagnoli, body)
+		if sum != want {
+			return 0, nil, fmt.Errorf("%w: %s frame", ErrChecksum, t)
+		}
+		return t, body, nil
 	}
 	return t, r.buf, nil
 }

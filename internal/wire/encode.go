@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"math"
 
 	"cpm/internal/geom"
@@ -17,6 +18,24 @@ import (
 // beginFrame appends the header with a zero length placeholder.
 func beginFrame(dst []byte, t FrameType) []byte {
 	return append(dst, 0, 0, 0, 0, ProtocolVersion, byte(t))
+}
+
+// castagnoli is the CRC32-C polynomial table used for HelloChecksum frame
+// trailers (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal appends the CRC32-C trailer to the frame that starts at index mark
+// in dst — covering version, type and payload — and re-patches the length
+// prefix to include it. Call it once per frame, after the Append* encoder,
+// on connections that negotiated HelloChecksum; the peer's Reader must
+// have checksum verification enabled or it will reject the trailer as
+// trailing garbage. Like the encoders it allocates only when dst runs out
+// of capacity.
+func Seal(dst []byte, mark int) []byte {
+	sum := crc32.Checksum(dst[mark+4:], castagnoli)
+	dst = binary.LittleEndian.AppendUint32(dst, sum)
+	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	return dst
 }
 
 // endFrame back-patches the length field of the frame that started at

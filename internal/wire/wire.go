@@ -13,10 +13,13 @@
 //
 // Payloads are built from varints (unsigned for counts and sequence
 // numbers, zigzag for object and query ids), raw IEEE-754 bits for
-// coordinates and distances, and length-prefixed byte strings. There is no
-// per-frame checksum or compression: the protocol is designed for trusted
-// links (TCP on a LAN or localhost) where the transport already provides
-// integrity.
+// coordinates and distances, and length-prefixed byte strings. By default
+// there is no per-frame checksum or compression: the protocol is designed
+// for trusted links (TCP on a LAN or localhost) where the transport
+// already provides integrity. Peers that cannot trust the link negotiate
+// CRC32-C frame trailers with the HelloChecksum flag (see Seal and
+// Reader.EnableChecksum); a damaged frame then fails with ErrChecksum
+// instead of decoding to silently wrong values.
 //
 // Encoding is allocation-free by construction: every encoder is an
 // append-style function on a caller-owned buffer, so a steady-state sender
@@ -64,6 +67,9 @@ var (
 	ErrVersion = errors.New("wire: unsupported protocol version")
 	// ErrTooLarge reports a length prefix beyond MaxFrame.
 	ErrTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrChecksum reports a frame whose CRC trailer did not verify on a
+	// checksum-negotiated connection: the bytes were damaged in transit.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
 )
 
 // FrameType identifies a frame's payload layout.
@@ -132,6 +138,14 @@ const (
 	// instead of a bare Ack. A cluster coordinator uses this to collect
 	// per-worker diffs deterministically, request by request.
 	HelloSyncDiffs uint8 = 1 << 0
+	// HelloChecksum negotiates CRC32-C frame trailers: every frame either
+	// peer sends after the handshake carries a 4-byte checksum (see Seal),
+	// and the receiver verifies it before decoding. The Hello and Welcome
+	// frames themselves are never checksummed — they complete before the
+	// mode is agreed. Turn this on for links that may corrupt bytes (WAN
+	// hops, chaos proxies); the default-off keeps LAN encoding 0-alloc
+	// work identical to protocol version 1 peers.
+	HelloChecksum uint8 = 1 << 1
 )
 
 // String returns a short name for the frame type.
