@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke cluster-smoke chaos-smoke fuzz
+.PHONY: all build test race bench bench-json bench-compare fmt fmt-check vet ci serve serve-smoke load-smoke cluster-smoke chaos-smoke trace-smoke fuzz
 
 all: build test
 
@@ -17,10 +17,12 @@ test:
 # partitioning it traverses, the engine it drives in parallel, the notify
 # pub/sub layer (incl. the root package's subscriber stress test), the
 # network serving layer (wire codec, TCP server, reconnecting client),
-# the cluster coordinator's fan-out/re-sync machinery and the chaos
-# fault-injection layer (whose cluster suite hammers all of the above).
+# the cluster coordinator's fan-out/re-sync machinery, the chaos
+# fault-injection layer (whose cluster suite hammers all of the above)
+# and the tracing runtime (pooled spans finished from fan-out
+# goroutines, the ring buffer scraped mid-flight).
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/... ./internal/chaos/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/... ./internal/chaos/... ./internal/tracing/...
 
 # Host a self-driving CPM monitor on :7845; watch it with
 #   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow
@@ -125,6 +127,33 @@ chaos-smoke:
 	fi; \
 	kill $$co $$px $$w1 $$w2; wait $$co $$px $$w1 $$w2 2>/dev/null || true; \
 	echo "chaos-smoke: ok"
+
+# Tracing smoke on the full distributed binary path: a coordinator over
+# two workers with head sampling at 1, a traced cpmload burst, then a
+# curl of /debug/traces asserting a multi-hop tick trace — coordinator
+# fan-out spans for both workers plus the merge — actually landed in the
+# flight recorder. See docs/TRACING.md.
+trace-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/cpm-trace-server ./cmd/cpmserver; \
+	$(GO) build -o /tmp/cpm-trace-coord ./cmd/cpmcoord; \
+	$(GO) build -o /tmp/cpm-trace-load ./cmd/cpmload; \
+	trap 'kill $$w1 $$w2 $$co 2>/dev/null || true' EXIT; \
+	/tmp/cpm-trace-server -addr 127.0.0.1:17855 & w1=$$!; \
+	/tmp/cpm-trace-server -addr 127.0.0.1:17856 & w2=$$!; \
+	sleep 1; \
+	/tmp/cpm-trace-coord -addr 127.0.0.1:17857 -metrics 127.0.0.1:19103 \
+		-workers 127.0.0.1:17855,127.0.0.1:17856 -trace-sample 1 & co=$$!; \
+	sleep 1; \
+	/tmp/cpm-trace-load -addr 127.0.0.1:17857 -conns 2 -rate 150 -duration 3s -n 500 -queries 20 -trace -trace-top 3; \
+	if command -v curl >/dev/null; then \
+		traces=$$(curl -sf 127.0.0.1:19103/debug/traces); \
+		for want in '"name":"tick"' '"name":"worker0"' '"name":"worker1"' '"name":"merge"'; do \
+			echo "$$traces" | grep -q "$$want" || { echo "trace-smoke: $$want missing from /debug/traces" >&2; exit 1; }; \
+		done; \
+	fi; \
+	kill $$co $$w1 $$w2; wait $$co $$w1 $$w2 2>/dev/null || true; \
+	echo "trace-smoke: ok"
 
 # Short fuzz runs over the wire codec (the seed corpus is checked in).
 fuzz:

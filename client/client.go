@@ -100,6 +100,14 @@ type Options struct {
 	// The cluster coordinator runs its worker connections in this mode;
 	// trusted LAN/localhost links can leave it off.
 	Checksum bool
+	// Trace negotiates the distributed-tracing extension in the
+	// handshake: SetTrace stamps the next request with trace context, the
+	// server's Diffs replies carry the tick-phase trailer (surfaced by
+	// TickDiffsPhases), and ServerTraces polls the server's trace flight
+	// recorder. Against an old server the Welcome carries no flags byte
+	// and the client silently degrades: context is not sent, phases come
+	// back zero.
+	Trace bool
 	// FrameTimeout bounds how long a frame body may take to arrive once
 	// its header has been read (default 10s, negative disables). An idle
 	// connection may wait forever between frames, but a started frame
@@ -150,6 +158,10 @@ type call struct {
 	stats []wire.Stat
 	// Diffs response (mutating requests on a SyncDiffs connection).
 	diffs []cpm.ResultDiff
+	// Tick-phase trailer of a Diffs response (Trace connections only).
+	phases cpm.PhaseNanos
+	// Traces response (TracesReq only): the recorder's JSON document.
+	traces []byte
 }
 
 // Client is a connection to a CPM server. Create one with Dial.
@@ -167,6 +179,13 @@ type Client struct {
 	subs    map[uint32]*Subscription
 	// instance is the server identifier from the latest Welcome.
 	instance uint64
+	// traceOK records whether the latest handshake negotiated the
+	// tracing extension (the server echoed WelcomeTrace).
+	traceOK bool
+	// pendTraceID/pendSpanID hold trace context set by SetTrace, consumed
+	// by the next request sent (prepended as a TraceCtx frame).
+	pendTraceID uint64
+	pendSpanID  uint64
 
 	wbuf []byte // reused encode buffer; guarded by mu
 
@@ -226,6 +245,9 @@ func (c *Client) dialOnce() (net.Conn, error) {
 	if c.opts.Checksum {
 		flags |= wire.HelloChecksum
 	}
+	if c.opts.Trace {
+		flags |= wire.HelloTrace
+	}
 	if _, err := nc.Write(wire.AppendHello(nil, flags)); err != nil {
 		nc.Close()
 		return nil, err
@@ -242,13 +264,14 @@ func (c *Client) dialOnce() (net.Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake got %v", t)
 	}
-	instance, err := wire.DecodeWelcome(payload)
+	instance, wflags, err := wire.DecodeWelcome(payload)
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
 	c.mu.Lock()
 	c.instance = instance
+	c.traceOK = wflags&wire.WelcomeTrace != 0
 	c.mu.Unlock()
 	if c.opts.OnConnect != nil {
 		c.opts.OnConnect(instance)
@@ -476,9 +499,24 @@ func (c *Client) roundTrip(build func(dst []byte, reqID uint64) []byte) (*call, 
 	reqID := c.nextReq
 	cl := &call{done: make(chan struct{})}
 	c.pending[reqID] = cl
-	c.wbuf = build(c.wbuf[:0], reqID)
+	c.wbuf = c.wbuf[:0]
+	// Pending trace context rides ahead of the request as its own frame
+	// (each frame sealed at its own mark); one Write keeps the pair
+	// adjacent on the wire. Context set against a server that did not
+	// negotiate tracing is dropped, not sent.
+	if c.pendTraceID != 0 {
+		if c.traceOK {
+			c.wbuf = wire.AppendTraceCtx(c.wbuf, c.pendTraceID, c.pendSpanID)
+			if c.opts.Checksum {
+				c.wbuf = wire.Seal(c.wbuf, 0)
+			}
+		}
+		c.pendTraceID, c.pendSpanID = 0, 0
+	}
+	mark := len(c.wbuf)
+	c.wbuf = build(c.wbuf, reqID)
 	if c.opts.Checksum {
-		c.wbuf = wire.Seal(c.wbuf, 0)
+		c.wbuf = wire.Seal(c.wbuf, mark)
 	}
 	// Write under mu: requests on one connection are serialized, which
 	// keeps frame boundaries intact and request order deterministic.
@@ -576,7 +614,7 @@ func (c *Client) dispatch(t wire.FrameType, payload []byte) error {
 		close(cl.done)
 
 	case wire.FrameDiffs:
-		reqID, diffs, err := wire.DecodeDiffs(payload)
+		reqID, diffs, phases, err := wire.DecodeDiffsPhases(payload)
 		if err != nil {
 			return err
 		}
@@ -585,6 +623,19 @@ func (c *Client) dispatch(t wire.FrameType, payload []byte) error {
 			return nil
 		}
 		cl.diffs = diffs
+		cl.phases = phases
+		close(cl.done)
+
+	case wire.FrameTraces:
+		reqID, doc, err := wire.DecodeTraces(payload)
+		if err != nil {
+			return err
+		}
+		cl := c.takeCall(reqID)
+		if cl == nil {
+			return nil
+		}
+		cl.traces = append([]byte(nil), doc...) // doc aliases the read buffer
 		close(cl.done)
 
 	case wire.FrameEvent:
@@ -734,6 +785,49 @@ func (c *Client) TickDiffs(b cpm.Batch) ([]cpm.ResultDiff, error) {
 	return c.diffsCall(func(dst []byte, reqID uint64) []byte {
 		return wire.AppendTick(dst, reqID, b)
 	})
+}
+
+// SetTrace stamps the next request this client sends with distributed-
+// trace context: the request rides behind a TraceCtx frame carrying the
+// ids, so the server's span for that op joins the caller's trace. The
+// context applies to exactly one request and is dropped (not queued) if
+// the server did not negotiate tracing. With concurrent callers, pair
+// each SetTrace with its request under external serialization — the
+// coordinator's per-worker mutex, or cpmload's trace token.
+func (c *Client) SetTrace(traceID, spanID uint64) {
+	if traceID == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.pendTraceID, c.pendSpanID = traceID, spanID
+	c.mu.Unlock()
+}
+
+// TickDiffsPhases is TickDiffs additionally returning the server engine's
+// tick-phase decomposition (requires Options.SyncDiffs and Options.Trace;
+// zero phases against a server without the tracing extension).
+func (c *Client) TickDiffsPhases(b cpm.Batch) ([]cpm.ResultDiff, cpm.PhaseNanos, error) {
+	cl, err := c.roundTrip(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendTick(dst, reqID, b)
+	})
+	if err != nil {
+		return nil, cpm.PhaseNanos{}, err
+	}
+	return cl.diffs, cl.phases, nil
+}
+
+// ServerTraces polls the server's trace flight recorder and returns its
+// contents as the JSON document /debug/traces serves (parse it with
+// tracing.ParseTraces). Requires Options.Trace; a server without the
+// extension rejects the request.
+func (c *Client) ServerTraces() ([]byte, error) {
+	cl, err := c.roundTrip(func(dst []byte, reqID uint64) []byte {
+		return wire.AppendTracesReq(dst, reqID, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl.traces, nil
 }
 
 // RegisterDefDiffs is RegisterDef returning the installation diff

@@ -17,12 +17,18 @@
 //	curl -s 'localhost:7998/fault?set=partition'     # blackhole the link
 //	curl -s 'localhost:7998/fault?set=none'          # heal it
 //	curl -s 'localhost:7998/fault'                   # current fault + fire counters
+//	curl -s 'localhost:7998/metrics'                 # fired counters, metrics-page shape
 //
 // The accepted fault specs are the schedule DSL classes: none, partition,
 // reset[=PROB], latency=DELAY[~JITTER], throttle=BYTES_PER_SEC,
 // slowloris=CHUNK/STALL, corrupt[=PROB], truncate[=PROB]. See
 // docs/OPERATIONS.md for drill recipes and the metric signatures each
 // fault class should produce on the coordinator.
+//
+// The /metrics page renders the per-class fired counters as the same
+// "name value" plain text the cpmserver/cpmcoord pages use
+// (cpm_chaos_fired_<class>_total), so a drill harness scrapes the proxy
+// and the system under test with one code path.
 //
 // On SIGINT/SIGTERM (or when the schedule ends with -exit) the proxy
 // prints a per-class report of how many times each fault actually fired,
@@ -33,13 +39,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"cpm/internal/chaos"
+	"cpm/internal/cmdutil"
 )
 
 func main() {
@@ -48,10 +54,16 @@ func main() {
 		target   = flag.String("target", "", "upstream address to proxy to (required)")
 		seed     = flag.Int64("seed", 1, "RNG seed for every probabilistic fault decision")
 		schedule = flag.String("schedule", "", "fault schedule to replay: 'AFTER[+DUR]:CLASS[=ARGS], ...' (empty = start healthy)")
-		control  = flag.String("control", "", "serve the /fault control endpoint over HTTP on this address (empty = off)")
+		control  = flag.String("control", "", "serve the /fault control and /metrics endpoints over HTTP on this address (empty = off)")
 		exit     = flag.Bool("exit", false, "exit after the schedule finishes instead of staying up healthy")
+		verbose  = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger := cmdutil.Logger("cpmchaos", *logLevel)
 
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "cpmchaos: -target is required")
@@ -73,9 +85,9 @@ func main() {
 	link := chaos.NewLink(*seed)
 	proxy, err := chaos.NewProxy(*addr, *target, link)
 	if err != nil {
-		log.Fatalf("cpmchaos: %v", err)
+		cmdutil.Fatal(logger, "proxy startup failed", "err", err)
 	}
-	log.Printf("cpmchaos: proxying %s -> %s (seed %d)", proxy.Addr(), *target, *seed)
+	logger.Info("proxying", "addr", proxy.Addr(), "target", *target, "seed", *seed)
 
 	if *control != "" {
 		mux := http.NewServeMux()
@@ -87,15 +99,19 @@ func main() {
 					return
 				}
 				link.Set(f)
-				log.Printf("cpmchaos: fault set to %s", f.Class)
+				logger.Info("fault set", "class", f.Class.String())
 			}
 			fmt.Fprintf(w, "fault: %s\nfired: %s\n",
 				link.Fault().Class, chaos.FormatCounters(link.Counters()))
 		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeCounters(w, link.Counters())
+		})
 		go func() {
-			log.Printf("cpmchaos: control endpoint on %s/fault", *control)
+			logger.Info("control endpoint up", "url", "http://"+*control+"/fault")
 			if err := http.ListenAndServe(*control, mux); err != nil {
-				log.Fatalf("cpmchaos: control: %v", err)
+				cmdutil.Fatal(logger, "control endpoint failed", "err", err)
 			}
 		}()
 	}
@@ -107,9 +123,9 @@ func main() {
 	go func() {
 		defer close(done)
 		if len(windows) > 0 {
-			log.Printf("cpmchaos: replaying %d-window schedule", len(windows))
+			logger.Info("replaying schedule", "windows", len(windows))
 			chaos.RunSchedule(ctx, link, windows)
-			log.Printf("cpmchaos: schedule done, link healed")
+			logger.Info("schedule done, link healed")
 		}
 		if !*exit {
 			<-ctx.Done()
@@ -118,5 +134,14 @@ func main() {
 	<-done
 
 	proxy.Close()
-	log.Printf("cpmchaos: faults fired: %s", chaos.FormatCounters(link.Counters()))
+	logger.Info("faults fired", "counters", chaos.FormatCounters(link.Counters()))
+}
+
+// writeCounters renders the per-class fired counters in the "name value"
+// plain-text shape the other binaries' metrics pages use. Every class is
+// listed (zeros included), so scrapers see a stable set of series.
+func writeCounters(w http.ResponseWriter, counts [chaos.NumClasses]int64) {
+	for c := 1; c < chaos.NumClasses; c++ { // skip None: it never fires
+		fmt.Fprintf(w, "cpm_chaos_fired_%s_total %d\n", chaos.Class(c), counts[c])
+	}
 }

@@ -22,13 +22,18 @@
 //	cpmcoord -addr :7845 -workers ... -metrics :9101
 //	curl -s localhost:9101/metrics
 //
+// The same address carries the debug surfaces: /debug/traces (enabled by
+// -trace-sample and/or -slow-op) shows end-to-end traces — one coordinator
+// op with per-worker fan-out child spans and the workers' reported tick
+// phases; see docs/TRACING.md — and -pprof adds /debug/pprof/.
+//
 // Stop with SIGINT/SIGTERM; connections drain and the process exits.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,7 +42,9 @@ import (
 	"time"
 
 	"cpm/internal/cluster"
+	"cpm/internal/cmdutil"
 	"cpm/internal/server"
+	"cpm/internal/tracing"
 )
 
 func main() {
@@ -45,13 +52,23 @@ func main() {
 		addr        = flag.String("addr", ":7845", "listen address")
 		workers     = flag.String("workers", "", "comma-separated worker addresses (required)")
 		metricsAddr = flag.String("metrics", "", "serve plain-text metrics over HTTP on this address (empty = off)")
-		verbose     = flag.Bool("v", false, "log connection and worker lifecycle events")
+		verbose     = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 
 		opTimeout        = flag.Duration("op-timeout", 5*time.Second, "per-operation worker answer deadline (miss = desync + background re-sync; <0 disables)")
 		writeTimeout     = flag.Duration("write-timeout", 10*time.Second, "per-flush socket write deadline on client connections (<0 disables)")
 		handshakeTimeout = flag.Duration("handshake-timeout", 10*time.Second, "deadline for a client's Hello frame (<0 disables)")
+
+		traceSample = flag.Float64("trace-sample", 0, "trace head-sampling probability in [0,1] (0 = off)")
+		slowOp      = flag.Duration("slow-op", 0, "force-record any op at least this slow into the flight recorder (0 = off)")
+		traceCap    = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ on the -metrics address")
 	)
 	flag.Parse()
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger := cmdutil.Logger("cpmcoord", *logLevel)
 
 	addrs := splitWorkers(*workers)
 	if len(addrs) == 0 {
@@ -59,43 +76,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	copts := cluster.Options{Workers: addrs, OpTimeout: *opTimeout}
-	if *verbose {
-		copts.Logf = log.Printf
-	}
+	copts := cluster.Options{Workers: addrs, OpTimeout: *opTimeout, Logf: cmdutil.Logf(logger)}
 	coord, err := cluster.New(copts)
 	if err != nil {
-		log.Fatalf("cpmcoord: %v", err)
+		cmdutil.Fatal(logger, "cluster startup failed", "err", err)
 	}
 
+	tracer := cmdutil.TraceConfig{Sample: *traceSample, SlowOp: *slowOp, Cap: *traceCap}.Build(logger)
 	sopts := server.Options{
 		WriteTimeout:     *writeTimeout,
 		HandshakeTimeout: *handshakeTimeout,
-	}
-	if *verbose {
-		sopts.Logf = log.Printf
+		Logf:             cmdutil.Logf(logger),
+		Tracer:           tracer,
 	}
 	srv := server.New(coord, sopts)
 
 	// The startup line carries every resolved option, so operator logs
 	// identify the configuration a running instance was launched with.
-	log.Printf("cpmcoord: starting: addr=%s workers=%s metrics=%s op-timeout=%v write-timeout=%v handshake-timeout=%v",
-		*addr, strings.Join(addrs, ","), orOff(*metricsAddr), *opTimeout, *writeTimeout, *handshakeTimeout)
+	logger.Info("starting",
+		"addr", *addr, "workers", strings.Join(addrs, ","), "metrics", orOff(*metricsAddr),
+		"op_timeout", *opTimeout, "write_timeout", *writeTimeout, "handshake_timeout", *handshakeTimeout,
+		"trace_sample", *traceSample, "slow_op", *slowOp, "pprof", *pprofOn)
 
 	if *metricsAddr != "" {
-		go serveMetrics(srv, coord, *metricsAddr)
+		go serveMetrics(logger, srv, coord, tracer, *metricsAddr, *pprofOn)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-stop
-		log.Printf("cpmcoord: shutting down")
+		logger.Info("shutting down")
 		srv.Close()
 	}()
 
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
-		log.Fatalf("cpmcoord: %v", err)
+		cmdutil.Fatal(logger, "serve failed", "err", err)
 	}
 	coord.Close()
 }
@@ -120,8 +136,9 @@ func orOff(addr string) string {
 }
 
 // serveMetrics exposes both registries — the serving layer's and the
-// coordinator's own — as one plain-text page on /metrics (and /).
-func serveMetrics(srv *server.Server, coord *cluster.Coordinator, addr string) {
+// coordinator's own — as one plain-text page on /metrics (and /), plus
+// the debug surfaces: /debug/traces always, /debug/pprof/ behind -pprof.
+func serveMetrics(logger *slog.Logger, srv *server.Server, coord *cluster.Coordinator, tracer *tracing.Tracer, addr string, pprofOn bool) {
 	mux := http.NewServeMux()
 	handler := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -130,8 +147,9 @@ func serveMetrics(srv *server.Server, coord *cluster.Coordinator, addr string) {
 	}
 	mux.HandleFunc("/metrics", handler)
 	mux.HandleFunc("/", handler)
-	log.Printf("cpmcoord: metrics on http://%s/metrics", addr)
+	cmdutil.MountDebug(mux, tracer, pprofOn)
+	logger.Info("metrics endpoint up", "url", "http://"+addr+"/metrics")
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("cpmcoord: metrics endpoint: %v", err)
+		logger.Error("metrics endpoint failed", "err", err)
 	}
 }

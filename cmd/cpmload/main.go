@@ -20,6 +20,13 @@
 //
 //	benchdiff -base LOAD_old.json -current LOAD.json
 //
+// With -trace every driven op is stamped with a trace context, and the
+// report ends with the -trace-top slowest ops: the client-observed
+// latency plus the server-side span breakdown (tick phases; behind a
+// coordinator, per-worker fan-out and merge) pulled from the server's
+// flight recorder — see docs/TRACING.md. The server must run with
+// tracing enabled (-trace-sample/-slow-op) for the breakdowns to appear.
+//
 // See docs/OPERATIONS.md for how the load harness fits the serving
 // deployment story.
 package main
@@ -28,11 +35,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"sort"
 	"time"
 
+	"cpm/internal/cmdutil"
 	"cpm/internal/load"
+	"cpm/internal/tracing"
 )
 
 func main() {
@@ -48,9 +57,16 @@ func main() {
 		batch    = flag.Int("batch", 16, "object moves per ingest operation")
 		seed     = flag.Int64("seed", 1, "workload and arrival-process seed")
 		jsonPath = flag.String("json", "", "write the run as a bench report to this file")
-		verbose  = flag.Bool("v", false, "log run diagnostics")
+		trace    = flag.Bool("trace", false, "stamp ops with trace contexts and report the slowest with server-side breakdowns")
+		traceTop = flag.Int("trace-top", 5, "slowest traced ops to report (-trace)")
+		verbose  = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger := cmdutil.Logger("cpmload", *logLevel)
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "cpmload: -addr is required")
 		flag.Usage()
@@ -68,13 +84,12 @@ func main() {
 		K:        *k,
 		Batch:    *batch,
 		Seed:     *seed,
-	}
-	if *verbose {
-		opts.Logf = log.Printf
+		Trace:    *trace,
+		Logf:     cmdutil.Logf(logger),
 	}
 	res, err := load.Run(opts)
 	if err != nil {
-		log.Fatalf("cpmload: %v", err)
+		cmdutil.Fatal(logger, "run failed", "err", err)
 	}
 
 	rep := res.Report()
@@ -86,18 +101,52 @@ func main() {
 			time.Duration(m.NsPerCycle), time.Duration(m.P50Ns),
 			time.Duration(m.P99Ns), time.Duration(m.P999Ns))
 	}
+	if *trace {
+		printTraceReport(res, *traceTop)
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			log.Fatalf("cpmload: %v", err)
+			cmdutil.Fatal(logger, "report marshal failed", "err", err)
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			log.Fatalf("cpmload: %v", err)
+			cmdutil.Fatal(logger, "report write failed", "err", err)
 		}
 	}
 
 	if res.Errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// printTraceReport prints the k slowest traced ops with their server-side
+// span breakdowns: each client-observed latency (scheduled arrival to
+// completion, queueing included) above the spans the server recorded for
+// that trace id — tick phases on a single server, per-worker fan-out and
+// merge behind a coordinator. The difference between the client latency
+// and the server's root span is queueing plus the network.
+func printTraceReport(res *load.Result, k int) {
+	byID := make(map[uint64]tracing.RecordedTrace, len(res.ServerTraces))
+	for _, tr := range res.ServerTraces {
+		byID[tr.TraceID] = tr
+	}
+	fmt.Printf("\nslowest traced ops (%d of %d traced, %d server traces):\n",
+		min(k, len(res.Traced)), len(res.Traced), len(res.ServerTraces))
+	for i, op := range res.Traced {
+		if i >= k {
+			break
+		}
+		fmt.Printf("%2d. %-9s trace=%016x latency=%v\n", i+1, op.Kind, op.TraceID, time.Duration(op.DurNs))
+		tr, ok := byID[op.TraceID]
+		if !ok {
+			fmt.Printf("    (no server trace recorded — evicted from the ring, or tracing disabled server-side)\n")
+			continue
+		}
+		spans := append([]tracing.RecordedSpan(nil), tr.Spans...)
+		sort.Slice(spans, func(a, b int) bool { return spans[a].OffsetNs < spans[b].OffsetNs })
+		for _, s := range spans {
+			fmt.Printf("    %-24s %12v  (+%v)\n", s.Name, time.Duration(s.DurNs), time.Duration(s.OffsetNs))
+		}
 	}
 }

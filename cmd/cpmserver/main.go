@@ -24,13 +24,18 @@
 //	cpmserver -addr :7845 -metrics :9100
 //	curl -s localhost:9100/metrics
 //
+// The same address carries the debug surfaces: the distributed-tracing
+// flight recorder on /debug/traces (enabled by -trace-sample and/or
+// -slow-op; see docs/TRACING.md) and, with -pprof, the standard profiling
+// handlers on /debug/pprof/.
+//
 // Stop with SIGINT/SIGTERM; connections drain and the process exits.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,10 +44,12 @@ import (
 
 	"cpm"
 	"cpm/internal/bench"
+	"cpm/internal/cmdutil"
 	"cpm/internal/generator"
 	"cpm/internal/model"
 	"cpm/internal/network"
 	"cpm/internal/server"
+	"cpm/internal/tracing"
 )
 
 func main() {
@@ -52,10 +59,16 @@ func main() {
 		gridSize    = flag.Int("grid", 128, "grid cells per dimension")
 		shards      = flag.Int("shards", 1, "CPM worker shards (>1 parallelizes each cycle; 0 = all usable cores)")
 		rebalance   = flag.Bool("rebalance", false, "auto-rebalance the grid online as object density drifts")
-		verbose     = flag.Bool("v", false, "log connection events")
+		verbose     = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 
 		writeTimeout     = flag.Duration("write-timeout", 10*time.Second, "per-flush socket write deadline (slow-consumer reap; <0 disables)")
 		handshakeTimeout = flag.Duration("handshake-timeout", 10*time.Second, "deadline for the client's Hello frame (<0 disables)")
+
+		traceSample = flag.Float64("trace-sample", 0, "trace head-sampling probability in [0,1] (0 = off)")
+		slowOp      = flag.Duration("slow-op", 0, "force-record any op at least this slow into the flight recorder (0 = off)")
+		traceCap    = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ on the -metrics address")
 
 		drive    = flag.Bool("drive", false, "self-drive a generated workload instead of waiting for remote ingest")
 		n        = flag.Int("n", 10000, "object population (-drive)")
@@ -66,6 +79,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed (-drive)")
 	)
 	flag.Parse()
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger := cmdutil.Logger("cpmserver", *logLevel)
 
 	if *shards < 0 {
 		fmt.Fprintln(os.Stderr, "cpmserver: -shards must be non-negative")
@@ -76,22 +93,26 @@ func main() {
 		Shards:        bench.ResolveShards(*shards),
 		AutoRebalance: *rebalance,
 	})
+	tracer := cmdutil.TraceConfig{Sample: *traceSample, SlowOp: *slowOp, Cap: *traceCap}.Build(logger)
 	opts := server.Options{
 		WriteTimeout:     *writeTimeout,
 		HandshakeTimeout: *handshakeTimeout,
-	}
-	if *verbose {
-		opts.Logf = log.Printf
+		Logf:             cmdutil.Logf(logger),
+		Tracer:           tracer,
 	}
 	srv := server.New(mon, opts)
 
 	// The startup line carries every resolved option, so operator logs
 	// identify the configuration a running instance was launched with.
-	log.Printf("cpmserver: starting: addr=%s metrics=%s grid=%d shards=%d rebalance=%v write-timeout=%v handshake-timeout=%v drive=%v",
-		*addr, orOff(*metricsAddr), *gridSize, bench.ResolveShards(*shards), *rebalance, *writeTimeout, *handshakeTimeout, *drive)
+	logger.Info("starting",
+		"addr", *addr, "metrics", orOff(*metricsAddr),
+		"grid", *gridSize, "shards", bench.ResolveShards(*shards), "rebalance", *rebalance,
+		"write_timeout", *writeTimeout, "handshake_timeout", *handshakeTimeout,
+		"trace_sample", *traceSample, "slow_op", *slowOp, "pprof", *pprofOn,
+		"drive", *drive)
 
 	if *metricsAddr != "" {
-		go serveMetrics(srv, *metricsAddr)
+		go serveMetrics(logger, srv, tracer, *metricsAddr, *pprofOn)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -100,20 +121,20 @@ func main() {
 	quit := make(chan struct{})
 	done := make(chan struct{})
 	if *drive {
-		go driveWorkload(srv, *n, *queries, *k, *ts, *seed, *interval, quit, done)
+		go driveWorkload(logger, srv, *n, *queries, *k, *ts, *seed, *interval, quit, done)
 	} else {
 		close(done)
 	}
 
 	go func() {
 		<-stop
-		log.Printf("cpmserver: shutting down")
+		logger.Info("shutting down")
 		close(quit)
 		srv.Close()
 	}()
 
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrClosed {
-		log.Fatalf("cpmserver: %v", err)
+		cmdutil.Fatal(logger, "serve failed", "err", err)
 	}
 	<-done
 	mon.Close()
@@ -128,8 +149,9 @@ func orOff(addr string) string {
 }
 
 // serveMetrics exposes the server's registry as a plain-text HTTP page on
-// /metrics (and on /, for curl convenience).
-func serveMetrics(srv *server.Server, addr string) {
+// /metrics (and on /, for curl convenience), plus the debug surfaces:
+// /debug/traces always, /debug/pprof/ behind -pprof.
+func serveMetrics(logger *slog.Logger, srv *server.Server, tracer *tracing.Tracer, addr string, pprofOn bool) {
 	mux := http.NewServeMux()
 	handler := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -137,20 +159,21 @@ func serveMetrics(srv *server.Server, addr string) {
 	}
 	mux.HandleFunc("/metrics", handler)
 	mux.HandleFunc("/", handler)
-	log.Printf("cpmserver: metrics on http://%s/metrics", addr)
+	cmdutil.MountDebug(mux, tracer, pprofOn)
+	logger.Info("metrics endpoint up", "url", "http://"+addr+"/metrics")
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("cpmserver: metrics endpoint: %v", err)
+		logger.Error("metrics endpoint failed", "err", err)
 	}
 }
 
 // driveWorkload bootstraps a generated workload into the served monitor
 // and ticks it forever (or for ts cycles), sharing the monitor with the
 // network via the server's lock.
-func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interval time.Duration, quit <-chan struct{}, done chan<- struct{}) {
+func driveWorkload(logger *slog.Logger, srv *server.Server, n, queries, k, ts int, seed int64, interval time.Duration, quit <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	net, err := network.Generate(network.GenOptions{Width: 32, Height: 32, Seed: seed})
 	if err != nil {
-		log.Fatalf("cpmserver: %v", err)
+		cmdutil.Fatal(logger, "network generation failed", "err", err)
 	}
 	w, err := generator.New(net, generator.Params{
 		N: n, NumQueries: queries,
@@ -159,17 +182,17 @@ func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interv
 		Seed: seed + 1,
 	})
 	if err != nil {
-		log.Fatalf("cpmserver: %v", err)
+		cmdutil.Fatal(logger, "workload generation failed", "err", err)
 	}
 	srv.Locked(func(m server.Backend) {
 		m.Bootstrap(w.InitialObjects())
 		for i, q := range w.InitialQueries() {
 			if err := m.RegisterQuery(model.QueryID(i), q, k); err != nil {
-				log.Fatalf("cpmserver: register q%d: %v", i, err)
+				cmdutil.Fatal(logger, "query registration failed", "query", i, "err", err)
 			}
 		}
 	})
-	log.Printf("cpmserver: driving %d objects, %d queries (k=%d), one cycle per %v", n, queries, k, interval)
+	logger.Info("driving workload", "objects", n, "queries", queries, "k", k, "interval", interval)
 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -189,7 +212,7 @@ func driveWorkload(srv *server.Server, n, queries, k, ts int, seed int64, interv
 		})
 		srv.ObserveCycle(time.Duration(cycleNs))
 		if cycle%20 == 0 {
-			log.Printf("cpmserver: cycle %d: %d updates, %d results changed", cycle, len(b.Objects), changed)
+			logger.Info("drive progress", "cycle", cycle, "updates", len(b.Objects), "changed", changed)
 		}
 	}
 }

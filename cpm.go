@@ -237,6 +237,7 @@ type backend interface {
 	HasQuery(id QueryID) bool
 	InvalidUpdates() int64
 	MemoryFootprint() int64
+	LastPhases() model.PhaseNanos
 	EnableDiffs(on bool)
 	TakeDiffs() []model.ResultDiff
 	Rebalance(newSize int)
@@ -406,6 +407,17 @@ func (m *Monitor) CycleNanos() int64 { return m.cycleNs }
 // LastCycleNanos returns the wall time of the most recent Tick, in
 // nanoseconds (0 before the first).
 func (m *Monitor) LastCycleNanos() int64 { return m.lastCycleNs }
+
+// PhaseNanos is the cost-model phase decomposition of one cycle; see
+// model.PhaseNanos.
+type PhaseNanos = model.PhaseNanos
+
+// LastPhases returns the wall-clock decomposition of the most recent Tick
+// into the paper's Section 4 cost-model phases: index maintenance
+// (relocation), influence scan / query re-evaluation, query-update
+// application, and diff derivation. With Shards > 1 each phase reports
+// the slowest shard (critical path). Zero before the first cycle.
+func (m *Monitor) LastPhases() PhaseNanos { return m.e.LastPhases() }
 
 // QueryCount returns the number of currently installed queries.
 func (m *Monitor) QueryCount() int { return len(m.e.QueryIDs()) }

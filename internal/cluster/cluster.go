@@ -81,6 +81,7 @@ import (
 	"cpm/internal/metrics"
 	"cpm/internal/model"
 	"cpm/internal/notify"
+	"cpm/internal/tracing"
 	"cpm/internal/wire"
 )
 
@@ -167,6 +168,15 @@ type Coordinator struct {
 	// Cycle accounting (Tick fan-out wall time).
 	cycles      int64
 	lastCycleNs int64
+	// lastPhases is the fleet's critical-path phase breakdown from the
+	// last Tick (per-field max over the workers' reported phases).
+	lastPhases model.PhaseNanos
+
+	// opSpan is the hosting server's span for the operation in flight
+	// (SetOpSpan; nil when the op is untraced). Written only by the
+	// single-threaded coordinator loop; fan-out goroutines receive it by
+	// value through their closures.
+	opSpan *tracing.Span
 
 	// Cached fleet-stats aggregation (stats.go). Guarded by its own
 	// mutex: reads arrive on the hosting server's scrape path, which the
@@ -202,6 +212,10 @@ func New(opts Options) (*Coordinator, error) {
 		}
 		copts := opts.Client
 		copts.SyncDiffs = true
+		// Ask for the trace extension: trace context flows downstream and
+		// tick-phase breakdowns flow back. Degrades silently against
+		// workers running a pre-extension build.
+		copts.Trace = true
 		// Coordinator↔worker links cross real networks; CRC trailers turn
 		// silent in-flight corruption into loud request failures the
 		// desync/re-sync machinery already knows how to absorb.
@@ -297,7 +311,9 @@ func (c *Coordinator) Bootstrap(objs map[model.ObjectID]geom.Point) {
 	if c.objs == nil {
 		c.objs = make(map[model.ObjectID]geom.Point)
 	}
+	ctx := c.opSpan.Context()
 	c.fanOut(c.synced(), true, func(w *worker) ([]model.ResultDiff, error) {
+		stampTrace(ctx, w)
 		return nil, w.cl.Bootstrap(objs)
 	})
 	c.finishOp(nil)
@@ -313,10 +329,42 @@ func (c *Coordinator) Tick(b model.Batch) {
 	c.chargeDesynced()
 	c.applyBatchToMirror(b)
 	per := c.partition(b)
+	sp := c.opSpan
+	ctx := sp.Context()
+	// Per-worker phase reports land here from the fan-out goroutines; the
+	// mutex (not plain indexed writes) keeps the read below safe against a
+	// timed-out straggler still finishing its call. The spans themselves
+	// are laid after the fan-out, on this thread, while sp is still live —
+	// a straggler completing after sp.Finish would otherwise touch a
+	// recycled span.
+	var phMu sync.Mutex
+	phases := make([]model.PhaseNanos, len(c.workers))
+	starts := make([]time.Time, len(c.workers))
 	diffs, _ := c.fanOut(c.synced(), true, func(w *worker) ([]model.ResultDiff, error) {
-		return w.cl.TickDiffs(per[w.idx])
+		stampTrace(ctx, w)
+		t0 := time.Now()
+		d, ph, err := w.cl.TickDiffsPhases(per[w.idx])
+		if err == nil {
+			phMu.Lock()
+			phases[w.idx] = ph
+			starts[w.idx] = t0
+			phMu.Unlock()
+		}
+		return d, err
 	})
+	var agg model.PhaseNanos
+	phMu.Lock()
+	for i, ph := range phases {
+		agg.MaxOf(ph)
+		if !starts[i].IsZero() {
+			workerPhaseSpans(sp, i, starts[i], ph)
+		}
+	}
+	phMu.Unlock()
+	c.lastPhases = agg
+	msp := sp.Child("merge")
 	c.finishOp(diffs)
+	msp.Finish()
 	c.cycles++
 	c.lastCycleNs = time.Since(start).Nanoseconds()
 }
@@ -356,10 +404,12 @@ func (c *Coordinator) registerDef(def wire.Register) error {
 	}
 	c.opQueryIDs = []model.QueryID{def.ID}
 	w := c.workers[c.owner(def.ID)]
+	ctx := c.opSpan.Context()
 	var diffs []model.ResultDiff
 	if w.synced {
 		var appErr error
 		diffs, appErr = c.fanOut([]*worker{w}, false, func(w *worker) ([]model.ResultDiff, error) {
+			stampTrace(ctx, w)
 			return w.cl.RegisterDefDiffs(def)
 		})
 		if appErr != nil {
@@ -387,10 +437,12 @@ func (c *Coordinator) MoveQuery(id model.QueryID, to ...geom.Point) error {
 	}
 	c.opQueryIDs = []model.QueryID{id}
 	w := c.workers[c.owner(id)]
+	ctx := c.opSpan.Context()
 	var diffs []model.ResultDiff
 	if w.synced {
 		var appErr error
 		diffs, appErr = c.fanOut([]*worker{w}, false, func(w *worker) ([]model.ResultDiff, error) {
+			stampTrace(ctx, w)
 			return w.cl.MoveQueryDiffs(id, to...)
 		})
 		if appErr != nil {
@@ -417,9 +469,11 @@ func (c *Coordinator) RemoveQuery(id model.QueryID) {
 	}
 	c.opQueryIDs = []model.QueryID{id}
 	w := c.workers[c.owner(id)]
+	ctx := c.opSpan.Context()
 	var diffs []model.ResultDiff
 	if w.synced {
 		diffs, _ = c.fanOut([]*worker{w}, false, func(w *worker) ([]model.ResultDiff, error) {
+			stampTrace(ctx, w)
 			return w.cl.RemoveQueryDiffs(id)
 		})
 	} else {
@@ -439,7 +493,9 @@ func (c *Coordinator) Reset() {
 	c.beginOp()
 	c.opFull = true
 	c.chargeDesynced()
+	ctx := c.opSpan.Context()
 	c.fanOut(c.synced(), true, func(w *worker) ([]model.ResultDiff, error) {
+		stampTrace(ctx, w)
 		return nil, w.cl.Reset()
 	})
 	removes := make([]model.ResultDiff, 0, len(c.defs))

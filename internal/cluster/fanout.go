@@ -174,6 +174,7 @@ func (c *Coordinator) fanOut(targets []*worker, desyncOnAppErr bool, f func(*wor
 		w       *worker
 		diffs   []model.ResultDiff
 		err     error
+		at      time.Time // when the worker's call started (post worker mutex)
 		rtt     time.Duration
 		retries int
 	}
@@ -189,7 +190,7 @@ func (c *Coordinator) fanOut(targets []*worker, desyncOnAppErr bool, f func(*wor
 				retries++
 				diffs, err = f(w)
 			}
-			ch <- fanResult{w: w, diffs: diffs, err: err, rtt: time.Since(t0), retries: retries}
+			ch <- fanResult{w: w, diffs: diffs, err: err, at: t0, rtt: time.Since(t0), retries: retries}
 		}(w)
 	}
 	var deadline <-chan time.Time
@@ -206,6 +207,10 @@ func (c *Coordinator) fanOut(targets []*worker, desyncOnAppErr bool, f func(*wor
 		case r := <-ch:
 			answered[r.w] = true
 			r.w.rtt.Observe(r.rtt)
+			// The collector runs on the coordinator loop, so reading
+			// c.opSpan here is race-free; the span covers the whole
+			// round trip (dial/send/wait/decode) behind the worker mutex.
+			c.opSpan.ChildAt(fmt.Sprintf("worker%d", r.w.idx), r.at, r.rtt)
 			if r.retries > 0 {
 				c.met.opRetries.Add(int64(r.retries))
 			}
@@ -223,6 +228,7 @@ func (c *Coordinator) fanOut(targets []*worker, desyncOnAppErr bool, f func(*wor
 			for _, w := range targets {
 				if !answered[w] {
 					c.desync(w, errOpTimeout)
+					c.opSpan.ChildAt(fmt.Sprintf("worker%d/timeout", w.idx), start, time.Since(start))
 				}
 			}
 			c.observeFanout(start, merged)

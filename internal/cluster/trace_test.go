@@ -1,0 +1,222 @@
+package cluster_test
+
+import (
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/client"
+	"cpm/internal/server"
+	"cpm/internal/tracing"
+)
+
+// startTracedCoord hosts an already-built coordinator behind a wire server
+// carrying the given tracer, and dials it with a trace-negotiating client.
+func startTracedCoord(t *testing.T, coord server.Backend, tr *tracing.Tracer) *client.Client {
+	t.Helper()
+	srv := server.New(coord, server.Options{Tracer: tr})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(ln.Addr().String(), client.Options{Trace: true, SyncDiffs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func seedFleet(t *testing.T, c *client.Client) {
+	t.Helper()
+	objs := map[cpm.ObjectID]cpm.Point{}
+	for i := 0; i < 32; i++ {
+		objs[cpm.ObjectID(i)] = cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+	}
+	if err := c.Bootstrap(objs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(1, cpm.Point{X: 0.3, Y: 0.3}, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fleetTick moves the whole population by a small step-dependent offset:
+// enough relocation work that each worker's phase times clear the
+// monotonic clock's granularity.
+func fleetTick(t *testing.T, c *client.Client, step int) {
+	t.Helper()
+	d := 0.001 * float64(step)
+	var ups []cpm.Update
+	for i := 0; i < 32; i++ {
+		base := cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+		ups = append(ups, cpm.MoveUpdate(cpm.ObjectID(i), base, cpm.Point{X: base.X + d, Y: base.Y}))
+	}
+	if err := c.Tick(cpm.Batch{Objects: ups}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spanNames collects a trace's span names into a set.
+func spanNames(tr tracing.RecordedTrace) map[string]bool {
+	out := make(map[string]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		out[s.Name] = true
+	}
+	return out
+}
+
+// TestClusterTraceFanOut is the tracing acceptance test: one sampled Tick
+// against a coordinator over two workers yields a single trace holding the
+// whole distributed story — the coordinator's fan-out round trips, each
+// worker's engine phase decomposition, and the merge — retrievable from
+// the /debug/traces surface.
+func TestClusterTraceFanOut(t *testing.T) {
+	coord, _ := startCluster(t, 2, 2*time.Second)
+	tr := tracing.New(tracing.Options{SampleRate: 1, Seed: 5})
+	c := startTracedCoord(t, coord, tr)
+	seedFleet(t, c)
+	fleetTick(t, c, 3)
+
+	var tick tracing.RecordedTrace
+	found := false
+	for _, rec := range tr.Traces() {
+		if rec.Name == "tick" {
+			tick, found = rec, true
+		}
+	}
+	if !found {
+		t.Fatal("no tick trace recorded")
+	}
+	names := spanNames(tick)
+	// The fan-out: one round-trip span per worker, plus the merge.
+	for _, want := range []string{"worker0", "worker1", "merge"} {
+		if !names[want] {
+			t.Errorf("tick trace missing %q span; have %v", want, names)
+		}
+	}
+	// Each worker's engine phases, stitched in from the Diffs trailer.
+	// Only relocate is asserted per worker: the non-owner's reeval and
+	// queryupd can run under the clock's granularity and lay no span.
+	for _, want := range []string{"worker0/relocate", "worker1/relocate"} {
+		if !names[want] {
+			t.Errorf("tick trace missing %q phase span; have %v", want, names)
+		}
+	}
+	// The coordinator's own critical-path phase rollup.
+	for _, want := range []string{"relocate", "reeval", "queryupd"} {
+		if !names[want] {
+			t.Errorf("tick trace missing coordinator %q span; have %v", want, names)
+		}
+	}
+
+	// The same trace must be retrievable from the /debug/traces handler.
+	rw := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces", nil))
+	served, err := tracing.ParseTraces(rw.Body.Bytes())
+	if err != nil {
+		t.Fatalf("/debug/traces unparseable: %v", err)
+	}
+	found = false
+	for _, rec := range served {
+		if rec.TraceID == tick.TraceID && len(rec.Spans) == len(tick.Spans) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/traces does not serve the tick trace %016x", tick.TraceID)
+	}
+}
+
+// TestClusterTraceSurvivesDesync drives the chaos path: a client-stamped
+// trace id must survive a worker kill (the op records under the client's
+// id, with well-formed spans for the failure) and keep working after the
+// worker restarts and re-syncs.
+func TestClusterTraceSurvivesDesync(t *testing.T) {
+	coord, procs := startCluster(t, 2, 300*time.Millisecond)
+	// SlowOp-only: nothing head-sampled, so every recorded trace is one
+	// the client stamped.
+	tr := tracing.New(tracing.Options{SlowOp: time.Hour})
+	c := startTracedCoord(t, coord, tr)
+	seedFleet(t, c)
+
+	procs[0].kill()
+	c.SetTrace(0x111, 0)
+	fleetTick(t, c, 4)
+
+	recs := tr.Traces()
+	if len(recs) != 1 {
+		t.Fatalf("stamped tick through a dead worker recorded %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != 0x111 {
+		t.Fatalf("trace id = %x, want 111 (the client's, across the failure)", rec.TraceID)
+	}
+	names := spanNames(rec)
+	if !names["worker1"] {
+		t.Errorf("surviving worker's span missing; have %v", names)
+	}
+	sawDead := false
+	for n := range names {
+		if strings.HasPrefix(n, "worker0") {
+			sawDead = true // either the errored round trip or worker0/timeout
+		}
+	}
+	if !sawDead {
+		t.Errorf("dead worker left no span at all; have %v", names)
+	}
+	// Well-formed: every span inside the trace window, parented to a span
+	// of the same trace (or the client's remote root).
+	ids := map[uint64]bool{0xdef: true}
+	for _, s := range rec.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range rec.Spans {
+		if s.OffsetNs < 0 || s.DurNs < 0 {
+			t.Errorf("span %q has negative offset/duration (%d, %d)", s.Name, s.OffsetNs, s.DurNs)
+		}
+		if s.Parent != 0 && !ids[s.Parent] {
+			t.Errorf("span %q parented to unknown id %x", s.Name, s.Parent)
+		}
+	}
+
+	// Restart the worker on its old address and let re-sync land
+	// (acceptance happens at operation boundaries, so keep ticking).
+	startWorker(t, procs[0].addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.SyncedWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never re-synced")
+		}
+		fleetTick(t, c, 5) // unstamped: records nothing
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := tr.Recorded(); got != 1 {
+		t.Fatalf("unstamped re-sync ticks leaked %d traces into the recorder", got-1)
+	}
+
+	c.SetTrace(0x222, 0)
+	fleetTick(t, c, 6)
+	recs = tr.Traces()
+	if len(recs) != 2 {
+		t.Fatalf("stamped tick after re-sync: recorder holds %d traces, want 2", len(recs))
+	}
+	var after tracing.RecordedTrace
+	for _, r := range recs {
+		if r.TraceID == 0x222 {
+			after = r
+		}
+	}
+	if after.TraceID != 0x222 {
+		t.Fatal("post-re-sync stamped tick not recorded under the client's id")
+	}
+	names = spanNames(after)
+	if !names["worker0"] || !names["worker1"] {
+		t.Errorf("post-re-sync tick missing a worker span; have %v", names)
+	}
+}

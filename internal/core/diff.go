@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"cpm/internal/model"
 )
@@ -65,6 +66,8 @@ func (e *Engine) TakeDiffs() []model.ResultDiff {
 // in place, keeping the window at one event per query. Both inputs are
 // copied as needed; callers may keep mutating their storage.
 func (e *Engine) noteDiff(id model.QueryID, base, cur []model.Neighbor) {
+	start := time.Now()
+	defer func() { e.phases.Diff += time.Since(start).Nanoseconds() }()
 	if i, ok := e.diffAt[id]; ok {
 		kind := e.diffs[i].Kind
 		e.diffs[i] = e.diffResult(id, e.diffBase[i], cur)
@@ -126,6 +129,8 @@ func (e *Engine) noteInstalled(id model.QueryID, res []model.Neighbor) {
 	if !e.diffsOn {
 		return
 	}
+	start := time.Now()
+	defer func() { e.phases.Diff += time.Since(start).Nanoseconds() }()
 	e.diffAt[id] = len(e.diffs)
 	e.diffBase = append(e.diffBase, nil)
 	e.diffs = append(e.diffs, model.ResultDiff{

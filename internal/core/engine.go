@@ -90,6 +90,10 @@ type Engine struct {
 	diffBase [][]model.Neighbor
 	diffIdx  map[model.ObjectID]int
 	diffSeen []bool
+
+	// phases is the wall-clock decomposition of the last ProcessBatch
+	// into the paper's cost-model phases (tracing.go in this package).
+	phases model.PhaseNanos
 }
 
 // query is one entry of the query table QT (Figure 3.3a).
@@ -320,6 +324,11 @@ func (e *Engine) InvalidObjectUpdates() int64 { return e.invalidObjects }
 
 // InvalidQueryUpdates returns the query-stream share of InvalidUpdates.
 func (e *Engine) InvalidQueryUpdates() int64 { return e.invalidQueries }
+
+// LastPhases returns the wall-clock decomposition of the most recent
+// ProcessBatch into the paper's cost-model phases. Zero before the first
+// cycle.
+func (e *Engine) LastPhases() model.PhaseNanos { return e.phases }
 
 // ObjectPosition returns the current position of a live object.
 func (e *Engine) ObjectPosition(id model.ObjectID) (geom.Point, bool) {

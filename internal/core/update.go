@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"cpm/internal/geom"
 	"cpm/internal/grid"
 	"cpm/internal/model"
@@ -21,6 +23,7 @@ import (
 // allocations: the per-cycle sets are generation-stamped reused slices, and
 // all influence and cell scans iterate borrowed grid slices.
 func (e *Engine) ProcessBatch(b model.Batch) {
+	e.phases = model.PhaseNanos{}
 	e.changeGen++
 	e.changedIDs = e.changedIDs[:0]
 	e.batchGen++
@@ -34,24 +37,39 @@ func (e *Engine) ProcessBatch(b model.Batch) {
 		}
 	}
 
+	// Phase boundaries for the Section 4 cost-model decomposition
+	// (model.PhaseNanos): time.Now() does not allocate, so the stamps are
+	// compatible with the zero-alloc steady-state contract.
 	if e.opts.PerUpdate {
 		// Ablation X2: Section 3.2 semantics — each update is classified
 		// and resolved on its own, so an outgoing NN triggers
 		// re-computation even when a later update this cycle would have
-		// compensated for it.
+		// compensated for it. Phase times accumulate across the
+		// interleaved per-update rounds.
 		for _, u := range b.Objects {
 			e.cycle++
+			t0 := time.Now()
 			e.applyObjectUpdate(u)
+			t1 := time.Now()
 			e.resolveDirty()
+			t2 := time.Now()
+			e.phases.Relocate += t1.Sub(t0).Nanoseconds()
+			e.phases.Reeval += t2.Sub(t1).Nanoseconds()
 		}
 	} else {
 		e.cycle++
+		t0 := time.Now()
 		for _, u := range b.Objects {
 			e.applyObjectUpdate(u)
 		}
+		t1 := time.Now()
 		e.resolveDirty()
+		t2 := time.Now()
+		e.phases.Relocate = t1.Sub(t0).Nanoseconds()
+		e.phases.Reeval = t2.Sub(t1).Nanoseconds()
 	}
 
+	qStart := time.Now()
 	for _, qu := range b.Queries {
 		switch qu.Kind {
 		case model.QueryTerminate:
@@ -80,6 +98,7 @@ func (e *Engine) ProcessBatch(b model.Batch) {
 			e.invalidQueries++
 		}
 	}
+	e.phases.QueryUpd = time.Since(qStart).Nanoseconds()
 }
 
 // touch lazily initializes a query's per-cycle update-handling state

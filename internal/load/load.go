@@ -37,6 +37,7 @@ package load
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"cpm/client"
 	"cpm/internal/bench"
 	"cpm/internal/metrics"
+	"cpm/internal/tracing"
 )
 
 // Operation mix: cumulative probability thresholds of the scheduler's op
@@ -100,6 +102,14 @@ type Options struct {
 	Batch int
 	// Seed seeds the workload and the arrival process (default 1).
 	Seed int64
+	// Trace stamps every driven operation with a fresh trace context
+	// before it is sent — the server (and, behind a coordinator, every
+	// worker) records spans under that id — and keeps each op's kind,
+	// trace id and latency in Result.Traced, so cmd/cpmload -trace can
+	// print the slowest ops with their server-side hop and phase
+	// breakdowns (fetched into Result.ServerTraces at the end of the
+	// run). Degrades silently against a pre-extension server.
+	Trace bool
 	// Logf, when set, receives progress diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -148,6 +158,23 @@ type Result struct {
 	Errors int64
 	Shed   int64
 	Gaps   uint64
+
+	// Traced holds every traced operation, slowest first (Options.Trace);
+	// ServerTraces is the server's flight recorder, fetched once at the
+	// end of the run — correlate the two by trace id.
+	Traced       []TracedOp
+	ServerTraces []tracing.RecordedTrace
+}
+
+// TracedOp is one operation the run stamped with a trace context: its
+// kind, the trace id the server recorded under, and the client-observed
+// latency from scheduled arrival to completion (queueing included — the
+// open-loop measurement; the server-side trace covers service time only,
+// so the difference between the two is queueing and the network).
+type TracedOp struct {
+	Kind    string
+	TraceID uint64
+	DurNs   int64
 }
 
 // Report renders the run as a bench.Report: one method row per operation
@@ -212,7 +239,8 @@ type worker struct {
 	pos  []cpm.Point
 	next int // round-robin cursor over objs
 
-	batch []cpm.Update // reused ingest batch
+	batch  []cpm.Update // reused ingest batch
+	traced []TracedOp   // this connection's traced ops (Options.Trace)
 }
 
 // ingest moves the next batchSize owned objects to fresh bulk positions
@@ -249,7 +277,7 @@ func Run(o Options) (*Result, error) {
 	// Dial the fleet.
 	workers := make([]*worker, o.Conns)
 	for i := range workers {
-		c, err := client.Dial(o.Addr, client.Options{})
+		c, err := client.Dial(o.Addr, client.Options{Trace: o.Trace})
 		if err != nil {
 			for _, w := range workers[:i] {
 				w.c.Close()
@@ -343,6 +371,15 @@ func Run(o Options) (*Result, error) {
 			ephemeralID := probeQuery + 1 + cpm.QueryID(i)
 			probePos := probeOut
 			for job := range w.ch {
+				// Stamp the op with a fresh trace id before it goes out;
+				// the executor is sequential over its connection, so the
+				// stamp can only pair with this op's request. The rng is
+				// executor-owned here, like the register-op draws.
+				var tid uint64
+				if o.Trace {
+					tid = w.rng.Uint64() | 1 // never 0: 0 means "no trace"
+					w.c.SetTrace(tid, 0)
+				}
 				var err error
 				switch job.kind {
 				case opIngest:
@@ -380,6 +417,11 @@ func Run(o Options) (*Result, error) {
 				}
 				if err != nil {
 					atomic.AddInt64(&res.Errors, 1)
+				} else if tid != 0 {
+					w.traced = append(w.traced, TracedOp{
+						Kind: opName(job.kind), TraceID: tid,
+						DurNs: time.Since(job.at).Nanoseconds(),
+					})
 				}
 			}
 		}(i, w)
@@ -439,11 +481,40 @@ func Run(o Options) (*Result, error) {
 	subWG.Wait()
 	res.Gaps = sub.Gaps() // authoritative: counts gaps the drain loop saw too
 
+	if o.Trace {
+		for _, w := range workers {
+			res.Traced = append(res.Traced, w.traced...)
+		}
+		sort.Slice(res.Traced, func(i, j int) bool { return res.Traced[i].DurNs > res.Traced[j].DurNs })
+		// Pull the server's flight recorder for hop/phase correlation.
+		// A server without tracing enabled answers an empty list.
+		if doc, err := workers[0].c.ServerTraces(); err == nil {
+			if traces, err := tracing.ParseTraces(doc); err == nil {
+				res.ServerTraces = traces
+			}
+		}
+	}
+
 	logf("load: %d scheduled over %v: ingest=%d tick=%d register=%d deliver=%d errors=%d shed=%d gaps=%d",
 		scheduled, res.Elapsed.Round(time.Millisecond),
 		res.Ingest.Count(), res.Tick.Count(), res.Register.Count(), res.Deliver.Count(),
 		res.Errors, res.Shed, res.Gaps)
 	return res, nil
+}
+
+// opName renders an op kind for the traced-op report, matching the
+// summary table's row names.
+func opName(k opKind) string {
+	switch k {
+	case opIngest:
+		return "ingest"
+	case opTick:
+		return "tick"
+	case opRegister:
+		return "register"
+	default:
+		return "deliver"
+	}
 }
 
 // probeDiff reports whether a diff is a probe toggle: the probe object

@@ -185,3 +185,27 @@ func (s Stats) Sub(other Stats) Stats {
 		ShortCircuits:    s.ShortCircuits - other.ShortCircuits,
 	}
 }
+
+// PhaseNanos decomposes one processing cycle into the phases the paper's
+// Section 4 cost model names: index maintenance (object relocation),
+// influence scan / query re-evaluation (the Figure 3.8 resolution pass,
+// which includes the heap work of re-computation), query-update
+// application, and result-diff derivation. Diff time is accumulated
+// inside the other phases (diffs are derived where results change), so
+// the first three sum to roughly the cycle and Diff overlaps them.
+type PhaseNanos struct {
+	Relocate int64 // object updates applied to the grid + influence scans
+	Reeval   int64 // resolveDirty: short-circuit merges and re-computations
+	QueryUpd int64 // query-stream terminations / moves / installs
+	Diff     int64 // result-diff derivation (overlaps the phases above)
+}
+
+// MaxOf folds other into s field-wise by maximum. The sharded monitor
+// runs shards concurrently, so the critical-path estimate for the fleet
+// is the slowest shard per phase, not the sum.
+func (s *PhaseNanos) MaxOf(other PhaseNanos) {
+	s.Relocate = max(s.Relocate, other.Relocate)
+	s.Reeval = max(s.Reeval, other.Reeval)
+	s.QueryUpd = max(s.QueryUpd, other.QueryUpd)
+	s.Diff = max(s.Diff, other.Diff)
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 
 	"cpm"
 	"cpm/internal/model"
+	"cpm/internal/tracing"
 	"cpm/internal/wire"
 )
 
@@ -24,6 +26,7 @@ const (
 	outGap
 	outStats
 	outDiffs
+	outTraces
 )
 
 // outFrame is one queued outbound frame. A single struct (instead of
@@ -43,6 +46,11 @@ type outFrame struct {
 	diffs []model.ResultDiff // outDiffs: a sync-diffs response
 	res   []model.Neighbor
 	stats []wire.Stat
+	// phases is the tick-phase trailer an outDiffs frame carries on a
+	// trace-negotiated connection (zero for non-Tick operations).
+	phases model.PhaseNanos
+	// raw is a pre-encoded payload document (outTraces).
+	raw []byte
 }
 
 // conn is one client connection: a reader goroutine executing requests, a
@@ -66,6 +74,16 @@ type conn struct {
 	// with a CRC32-C trailer. Written before the Welcome is queued, so the
 	// writer observes it through the channel's happens-before edge.
 	checksum bool
+	// trace is set when the Hello carried HelloTrace: the Welcome grows a
+	// flags byte echoing WelcomeTrace, TraceCtx/TracesReq frames are
+	// accepted, and Diffs replies carry the tick-phase trailer. Written
+	// before the Welcome is queued (same happens-before as checksum).
+	trace bool
+	// pendTraceID/pendSpanID hold the context of the last TraceCtx frame,
+	// consumed by the next request. Reader-goroutine only: TraceCtx and
+	// the request it annotates arrive on the same readLoop.
+	pendTraceID uint64
+	pendSpanID  uint64
 
 	mu   sync.Mutex
 	subs map[uint32]*cpm.Subscription
@@ -178,6 +196,9 @@ func (c *conn) readLoop() error {
 		c.checksum = true
 		r.EnableChecksum()
 	}
+	if flags&wire.HelloTrace != 0 {
+		c.trace = true
+	}
 	// Handshake done: established connections may idle indefinitely —
 	// but a frame whose header arrived must finish within the handshake
 	// bound. The CRC trailer cannot cover the length prefix, so a
@@ -226,6 +247,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		}
 		errMsg := ""
 		var diffs []model.ResultDiff
+		sp := c.opSpan("bootstrap")
 		start := time.Now()
 		func() {
 			// Bootstrap panics on a second call by contract; a remote
@@ -241,6 +263,7 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 			s.mon.Bootstrap(m)
 		}()
 		s.met.handleBootstrap.ObserveSince(start)
+		sp.Finish()
 		c.mutReply(reqID, errMsg, diffs)
 
 	case wire.FrameTick:
@@ -248,27 +271,39 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		sp := c.opSpan("tick")
 		start := time.Now()
 		s.monMu.Lock()
+		opStart := time.Now() // tick proper: lock wait excluded
+		s.setOpSpan(sp)
 		s.mon.Tick(b)
+		s.setOpSpan(nil)
 		cycleNs := s.mon.LastCycleNanos()
+		ph := s.mon.LastPhases()
 		diffs := c.drainDiffs()
 		s.monMu.Unlock()
 		s.met.handleTick.ObserveSince(start)
 		s.met.cycle.Observe(time.Duration(cycleNs))
-		c.mutReply(reqID, "", diffs)
+		s.met.observePhases(ph)
+		tickSpans(sp, opStart, ph)
+		sp.Finish()
+		c.mutReplyPhases(reqID, "", diffs, ph)
 
 	case wire.FrameRegister:
 		reqID, reg, err := wire.DecodeRegister(payload)
 		if err != nil {
 			return err
 		}
+		sp := c.opSpan("register")
 		start := time.Now()
 		s.monMu.Lock()
+		s.setOpSpan(sp)
 		rerr := s.register(reg)
+		s.setOpSpan(nil)
 		diffs := c.drainDiffs()
 		s.monMu.Unlock()
 		s.met.handleRegister.ObserveSince(start)
+		sp.Finish()
 		c.mutReplyErr(reqID, rerr, diffs)
 
 	case wire.FrameMoveQuery:
@@ -276,10 +311,14 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		sp := c.opSpan("movequery")
 		s.monMu.Lock()
+		s.setOpSpan(sp)
 		rerr := s.mon.MoveQuery(id, pts...)
+		s.setOpSpan(nil)
 		diffs := c.drainDiffs()
 		s.monMu.Unlock()
+		sp.Finish()
 		c.mutReplyErr(reqID, rerr, diffs)
 
 	case wire.FrameRemoveQuery:
@@ -287,10 +326,14 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		sp := c.opSpan("removequery")
 		s.monMu.Lock()
+		s.setOpSpan(sp)
 		s.mon.RemoveQuery(id)
+		s.setOpSpan(nil)
 		diffs := c.drainDiffs()
 		s.monMu.Unlock()
+		sp.Finish()
 		c.mutReply(reqID, "", diffs)
 
 	case wire.FrameReset:
@@ -309,11 +352,13 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		sp := c.opSpan("result")
 		start := time.Now()
 		s.monMu.Lock()
 		snap := s.mon.Snapshot(id)
 		s.monMu.Unlock()
 		s.met.handleResult.ObserveSince(start)
+		sp.Finish()
 		c.send(outFrame{kind: outResult, reqID: reqID, query: id, live: snap[0].Live, res: snap[0].Result})
 
 	case wire.FrameSubscribe:
@@ -350,10 +395,77 @@ func (c *conn) handle(t wire.FrameType, payload []byte) error {
 		s.met.subsActive.Add(-1)
 		c.ack(reqID, "")
 
+	case wire.FrameTraceCtx:
+		if !c.trace {
+			return errors.New("tracectx on a connection without the tracing extension")
+		}
+		tid, sid, err := wire.DecodeTraceCtx(payload)
+		if err != nil {
+			return err
+		}
+		c.pendTraceID, c.pendSpanID = tid, sid
+
+	case wire.FrameTracesReq:
+		if !c.trace {
+			return errors.New("tracesreq on a connection without the tracing extension")
+		}
+		reqID, tid, err := wire.DecodeTracesReq(payload)
+		if err != nil {
+			return err
+		}
+		var doc []byte
+		if tid == 0 {
+			doc = s.tracer.MarshalTraces()
+		} else if tr, ok := s.tracer.Trace(tid); ok {
+			doc, _ = json.Marshal(tr)
+		} else {
+			doc = []byte("null")
+		}
+		c.send(outFrame{kind: outTraces, reqID: reqID, raw: doc})
+
 	default:
 		return errors.New("unexpected frame " + t.String())
 	}
 	return nil
+}
+
+// opSpan opens the server-side span for one request: joining the
+// client's trace when a TraceCtx frame preceded the request, or making a
+// fresh head-sampling decision otherwise. Pending context is consumed
+// either way (it applies to exactly one request). Returns nil when
+// tracing is off or the op is unsampled — every span method no-ops on
+// nil, so handlers use the result unconditionally.
+func (c *conn) opSpan(name string) *tracing.Span {
+	tid, sid := c.pendTraceID, c.pendSpanID
+	c.pendTraceID, c.pendSpanID = 0, 0
+	t := c.srv.tracer
+	if tid != 0 {
+		return t.StartRemote(name, tracing.Context{TraceID: tid, SpanID: sid})
+	}
+	return t.StartRoot(name)
+}
+
+// tickSpans attaches the engine's phase decomposition to a tick span as
+// child spans. The phases are durations, not timestamps: relocate, re-eval
+// and query-update ran back to back from opStart, and diff derivation
+// overlapped them, so the children are laid out sequentially with diff
+// anchored at the start.
+func tickSpans(sp *tracing.Span, opStart time.Time, ph model.PhaseNanos) {
+	if sp == nil {
+		return
+	}
+	at := opStart
+	for _, c := range []struct {
+		name string
+		ns   int64
+	}{{"relocate", ph.Relocate}, {"reeval", ph.Reeval}, {"queryupd", ph.QueryUpd}} {
+		d := time.Duration(c.ns)
+		sp.ChildAt(c.name, at, d)
+		at = at.Add(d)
+	}
+	if ph.Diff > 0 {
+		sp.ChildAt("diff", opStart, time.Duration(ph.Diff))
+	}
 }
 
 // subscribe opens a subscription: under one monitor lock it subscribes to
@@ -477,8 +589,14 @@ func (c *conn) drainDiffs() []model.ResultDiff {
 // mutReply answers a mutating request: the operation's diffs on a
 // successful sync connection, a plain ack otherwise.
 func (c *conn) mutReply(reqID uint64, errMsg string, diffs []model.ResultDiff) {
+	c.mutReplyPhases(reqID, errMsg, diffs, model.PhaseNanos{})
+}
+
+// mutReplyPhases is mutReply carrying a tick-phase trailer; the trailer
+// reaches the wire only on trace-negotiated connections (appendSealed).
+func (c *conn) mutReplyPhases(reqID uint64, errMsg string, diffs []model.ResultDiff, ph model.PhaseNanos) {
 	if c.sync && errMsg == "" {
-		c.send(outFrame{kind: outDiffs, reqID: reqID, diffs: diffs})
+		c.send(outFrame{kind: outDiffs, reqID: reqID, diffs: diffs, phases: ph})
 		return
 	}
 	c.ack(reqID, errMsg)
@@ -552,7 +670,16 @@ func (c *conn) countOut(f outFrame) {
 // that negotiates the mode.
 func (c *conn) appendSealed(buf []byte, f outFrame) []byte {
 	mark := len(buf)
-	buf = appendOut(buf, f)
+	switch {
+	case f.kind == outWelcome && c.trace:
+		// The flags byte is version-negotiated: only clients that sent
+		// HelloTrace get it (an old client would reject trailing bytes).
+		buf = wire.AppendWelcomeFlags(buf, f.seq, wire.WelcomeTrace)
+	case f.kind == outDiffs && c.trace:
+		buf = wire.AppendDiffsPhases(buf, f.reqID, f.diffs, f.phases)
+	default:
+		buf = appendOut(buf, f)
+	}
 	if c.checksum && f.kind != outWelcome {
 		buf = wire.Seal(buf, mark)
 	}
@@ -580,6 +707,8 @@ func appendOut(buf []byte, f outFrame) []byte {
 		return wire.AppendStats(buf, f.reqID, f.stats)
 	case outDiffs:
 		return wire.AppendDiffs(buf, f.reqID, f.diffs)
+	case outTraces:
+		return wire.AppendTraces(buf, f.reqID, f.raw)
 	default:
 		return buf
 	}

@@ -3,9 +3,12 @@ package server
 import (
 	"os"
 	"regexp"
+	"strings"
 	"testing"
 
 	"cpm"
+	"cpm/client"
+	"cpm/internal/tracing"
 )
 
 // TestMetricsDocsComplete keeps docs/METRICS.md honest: every metric the
@@ -41,6 +44,90 @@ func TestMetricsDocsComplete(t *testing.T) {
 	for name := range documented {
 		if !live[name] {
 			t.Errorf("docs/METRICS.md documents %s, which no registry exposes", name)
+		}
+	}
+}
+
+// TestTracingDocsComplete keeps docs/TRACING.md honest the same way:
+// every op span name and engine phase span name the server actually
+// emits must appear in the document (in backticks), along with the
+// tick-phase metric names, the flag trio, and the HTTP surface.
+func TestTracingDocsComplete(t *testing.T) {
+	data, err := os.ReadFile("../../docs/TRACING.md")
+	if err != nil {
+		t.Fatalf("docs/TRACING.md unreadable: %v", err)
+	}
+	doc := string(data)
+	documented := func(name string) bool {
+		return regexp.MustCompile("`" + regexp.QuoteMeta(name) + "`").MatchString(doc)
+	}
+
+	// Drive a sampled server through every operation type and collect
+	// what the recorder actually holds.
+	tr := tracing.New(tracing.Options{SampleRate: 1, Seed: 11})
+	_, addr := startServerOpts(t, cpm.Options{GridSize: 16}, Options{Tracer: tr})
+	c, err := client.Dial(addr, client.Options{Trace: true, SyncDiffs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(map[cpm.ObjectID]cpm.Point{1: {X: 0.2, Y: 0.2}, 2: {X: 0.6, Y: 0.6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(1, cpm.Point{X: 0.3, Y: 0.3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Tick(cpm.Batch{Objects: []cpm.Update{
+		cpm.MoveUpdate(1, cpm.Point{X: 0.2, Y: 0.2}, cpm.Point{X: 0.25, Y: 0.25}),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MoveQuery(1, cpm.Point{X: 0.35, Y: 0.35}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]bool{}
+	for _, rec := range tr.Traces() {
+		seen[rec.Name] = true
+		for _, s := range rec.Spans {
+			seen[s.Name] = true
+		}
+	}
+	if len(seen) < 6 {
+		t.Fatalf("drove every op type but recorded only %v", seen)
+	}
+	for name := range seen {
+		if !documented(name) {
+			t.Errorf("span name %q is emitted but not documented in docs/TRACING.md", name)
+		}
+	}
+
+	// The coordinator-side span vocabulary (exercised by the cluster
+	// trace tests) and the operator surface must stay documented too.
+	for _, name := range []string{
+		"worker<N>", "worker<N>/relocate", "worker<N>/reeval",
+		"worker<N>/queryupd", "worker<N>/diff", "worker<N>/timeout", "merge",
+		"-trace-sample", "-slow-op", "-trace-cap",
+	} {
+		if !documented(name) {
+			t.Errorf("docs/TRACING.md no longer documents %q", name)
+		}
+	}
+	if !regexp.MustCompile(`/debug/traces`).MatchString(doc) {
+		t.Error("docs/TRACING.md no longer documents /debug/traces")
+	}
+
+	// Every tick-phase histogram must be mentioned by exact name.
+	s, _ := startServer(t, cpm.Options{GridSize: 16})
+	for _, name := range s.Metrics().Names() {
+		if strings.HasPrefix(name, "cpm_tick_phase_") && !documented(name) {
+			t.Errorf("metric %s exists but docs/TRACING.md does not mention it", name)
 		}
 	}
 }

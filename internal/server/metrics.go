@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cpm/internal/metrics"
+	"cpm/internal/model"
 	"cpm/internal/wire"
 )
 
@@ -37,6 +38,11 @@ type serverMetrics struct {
 	handleSubscribe *metrics.Histogram
 
 	cycle *metrics.Histogram
+
+	phaseRelocate *metrics.Histogram
+	phaseReeval   *metrics.Histogram
+	phaseQueryUpd *metrics.Histogram
+	phaseDiff     *metrics.Histogram
 }
 
 // newServerMetrics builds the registry. Monitor-state gauges read through
@@ -65,6 +71,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		handleResult:      reg.Histogram("cpm_server_handle_result_ns"),
 		handleSubscribe:   reg.Histogram("cpm_server_handle_subscribe_ns"),
 		cycle:             reg.Histogram("cpm_monitor_cycle_ns"),
+		phaseRelocate:     reg.Histogram("cpm_tick_phase_relocate_ns"),
+		phaseReeval:       reg.Histogram("cpm_tick_phase_reeval_ns"),
+		phaseQueryUpd:     reg.Histogram("cpm_tick_phase_queryupd_ns"),
+		phaseDiff:         reg.Histogram("cpm_tick_phase_diff_ns"),
 	}
 	monGauge := func(name string, read func() int64) {
 		reg.GaugeFunc(name, func() int64 {
@@ -86,6 +96,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	monGauge("cpm_monitor_short_circuits_total", func() int64 { return s.mon.Stats().ShortCircuits })
 	monGauge("cpm_monitor_invalid_updates_total", func() int64 { return s.mon.InvalidUpdates() })
 	return m
+}
+
+// observePhases records one tick's phase breakdown into the
+// cpm_tick_phase_* histograms.
+func (m *serverMetrics) observePhases(ph model.PhaseNanos) {
+	m.phaseRelocate.Observe(time.Duration(ph.Relocate))
+	m.phaseReeval.Observe(time.Duration(ph.Reeval))
+	m.phaseQueryUpd.Observe(time.Duration(ph.QueryUpd))
+	m.phaseDiff.Observe(time.Duration(ph.Diff))
 }
 
 // snapshotWire collects the registry as wire stats for a Stats frame.

@@ -57,6 +57,7 @@ import (
 	"cpm/internal/geom"
 	"cpm/internal/model"
 	"cpm/internal/notify"
+	"cpm/internal/tracing"
 	"cpm/internal/wire"
 )
 
@@ -98,6 +99,7 @@ type Backend interface {
 	Rebalances() int64
 	Stats() model.Stats
 	InvalidUpdates() int64
+	LastPhases() model.PhaseNanos
 }
 
 var _ Backend = (*cpm.Monitor)(nil)
@@ -127,6 +129,11 @@ type Options struct {
 	// Logf, when set, receives connection-level diagnostics (accepted,
 	// closed, protocol errors). The server is silent without it.
 	Logf func(format string, args ...any)
+	// Tracer, when set, records a span per handled operation (joined to
+	// the client's trace when the connection negotiated wire.HelloTrace)
+	// plus tick-phase child spans. Nil disables tracing entirely — the
+	// request path then costs one nil check per op.
+	Tracer *tracing.Tracer
 }
 
 func (o *Options) defaults() {
@@ -144,9 +151,10 @@ func (o *Options) defaults() {
 // Server serves one Backend (usually a cpm.Monitor) to any number of
 // network clients.
 type Server struct {
-	opts Options
-	mon  Backend
-	met  *serverMetrics
+	opts   Options
+	mon    Backend
+	met    *serverMetrics
+	tracer *tracing.Tracer // nil when tracing is disabled
 	// instance is a random per-Server identifier echoed in every Welcome:
 	// a reconnecting peer that sees a different instance knows it is
 	// talking to a restarted server whose state is gone.
@@ -175,6 +183,7 @@ func New(mon Backend, opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		mon:      mon,
+		tracer:   opts.Tracer,
 		instance: rand.Uint64() | 1, // never 0: 0 means "field absent" on the wire
 		conns:    make(map[*conn]struct{}),
 	}
@@ -292,6 +301,15 @@ func (s *Server) removeConn(c *conn) {
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
+	}
+}
+
+// setOpSpan hands the current operation's span to backends that can stitch
+// their own children under it (the cluster coordinator attaches per-worker
+// fan-out spans); plain monitors ignore it. Caller holds monMu.
+func (s *Server) setOpSpan(sp *tracing.Span) {
+	if os, ok := s.mon.(interface{ SetOpSpan(*tracing.Span) }); ok {
+		os.SetOpSpan(sp)
 	}
 }
 

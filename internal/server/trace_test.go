@@ -1,0 +1,210 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"cpm"
+	"cpm/client"
+	"cpm/internal/tracing"
+)
+
+// traced dials a trace-negotiating client against a server built around a
+// fresh monitor and the given tracer.
+func traced(t *testing.T, tr *tracing.Tracer) *client.Client {
+	t.Helper()
+	_, addr := startServerOpts(t, cpm.Options{GridSize: 16}, Options{Tracer: tr})
+	c, err := client.Dial(addr, client.Options{Trace: true, SyncDiffs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// seedWorkload loads a small population and one query so ticks do real
+// engine work in every phase.
+func seedWorkload(t *testing.T, c *client.Client) {
+	t.Helper()
+	objs := map[cpm.ObjectID]cpm.Point{}
+	for i := 0; i < 32; i++ {
+		objs[cpm.ObjectID(i)] = cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+	}
+	if err := c.Bootstrap(objs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(1, cpm.Point{X: 0.3, Y: 0.3}, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tickMove(t *testing.T, c *client.Client, i int) {
+	t.Helper()
+	from := cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+	if err := c.Tick(cpm.Batch{Objects: []cpm.Update{
+		cpm.MoveUpdate(cpm.ObjectID(i), from, cpm.Point{X: 0.31, Y: 0.31}),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceSampledTick checks the head-sampled server path end to end: at
+// sample rate 1 every op lands in the flight recorder, and a tick's trace
+// carries the engine phase decomposition as child spans.
+func TestTraceSampledTick(t *testing.T) {
+	tr := tracing.New(tracing.Options{SampleRate: 1, Seed: 7})
+	c := traced(t, tr)
+	seedWorkload(t, c)
+	tickMove(t, c, 3)
+
+	byName := map[string]tracing.RecordedTrace{}
+	for _, rec := range tr.Traces() {
+		byName[rec.Name] = rec
+	}
+	for _, want := range []string{"bootstrap", "register", "tick"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("no %q trace recorded; have %v", want, names(tr))
+		}
+	}
+	tick := byName["tick"]
+	spans := map[string]bool{}
+	var root tracing.RecordedSpan
+	for _, s := range tick.Spans {
+		spans[s.Name] = true
+		if s.Name == "tick" {
+			root = s
+		}
+	}
+	for _, want := range []string{"relocate", "reeval", "queryupd"} {
+		if !spans[want] {
+			t.Errorf("tick trace missing %q phase span; spans %v", want, spans)
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("tick trace has no root span")
+	}
+	for _, s := range tick.Spans {
+		if s.Name != "tick" && s.Parent != root.ID {
+			t.Errorf("span %q parented to %x, want root %x", s.Name, s.Parent, root.ID)
+		}
+	}
+}
+
+// TestTraceClientStampJoins checks remote joining: a client-stamped op is
+// recorded under the client's trace id with the client's span as the root
+// parent — even though the server's own sampler would never fire.
+func TestTraceClientStampJoins(t *testing.T) {
+	// SlowOp-only tracer: nothing is head-sampled, so any recorded trace
+	// must have come from the client's stamp.
+	tr := tracing.New(tracing.Options{SlowOp: time.Hour})
+	c := traced(t, tr)
+	seedWorkload(t, c)
+
+	// Negative control first: unstamped ops record nothing at all.
+	tickMove(t, c, 4)
+	if got := tr.Recorded(); got != 0 {
+		t.Fatalf("unstamped ops recorded %d traces, want 0", got)
+	}
+
+	c.SetTrace(0xabc, 0xdef)
+	tickMove(t, c, 5)
+	recs := tr.Traces()
+	if len(recs) != 1 {
+		t.Fatalf("stamped tick recorded %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != 0xabc {
+		t.Fatalf("trace id = %x, want abc (the client's)", rec.TraceID)
+	}
+	for _, s := range rec.Spans {
+		if s.Name == "tick" && s.Parent != 0xdef {
+			t.Errorf("server root span parented to %x, want the client span def", s.Parent)
+		}
+	}
+
+	// The stamp applies to exactly one request.
+	tickMove(t, c, 6)
+	if got := tr.Recorded(); got != 1 {
+		t.Fatalf("stamp leaked onto a later op: %d traces recorded, want 1", got)
+	}
+}
+
+// TestTraceServerTracesWire checks the TracesReq frame: the client pulls
+// the flight recorder over the wire and the document round-trips through
+// tracing.ParseTraces.
+func TestTraceServerTracesWire(t *testing.T) {
+	tr := tracing.New(tracing.Options{SampleRate: 1, Seed: 3})
+	c := traced(t, tr)
+	seedWorkload(t, c)
+	tickMove(t, c, 7)
+
+	doc, err := c.ServerTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracing.ParseTraces(doc)
+	if err != nil {
+		t.Fatalf("ServerTraces document unparseable: %v", err)
+	}
+	want := tr.Traces()
+	if len(got) != len(want) {
+		t.Fatalf("wire returned %d traces, recorder holds %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].TraceID != want[i].TraceID || got[i].Name != want[i].Name {
+			t.Fatalf("trace %d = (%x, %q), want (%x, %q)",
+				i, got[i].TraceID, got[i].Name, want[i].TraceID, want[i].Name)
+		}
+	}
+}
+
+// TestTraceDisabledServer checks graceful degradation: against a server
+// with no tracer the client still negotiates the extension, stamped ops
+// run normally, and the traces poll answers an empty list.
+func TestTraceDisabledServer(t *testing.T) {
+	c := traced(t, nil)
+	seedWorkload(t, c)
+	c.SetTrace(0x123, 0)
+	tickMove(t, c, 8)
+
+	doc, err := c.ServerTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := tracing.ParseTraces(doc)
+	if err != nil || len(traces) != 0 {
+		t.Fatalf("nil-tracer server returned (%v, %v), want an empty list", traces, err)
+	}
+}
+
+// TestTracePhasesOnWire checks the Diffs phase trailer end to end: a
+// trace-negotiated client sees the engine's phase breakdown on its tick
+// replies.
+func TestTracePhasesOnWire(t *testing.T) {
+	c := traced(t, nil)
+	seedWorkload(t, c)
+	// Move the whole population: one object's relocation can be faster
+	// than the monotonic clock granularity, 32 cannot.
+	var ups []cpm.Update
+	for i := 0; i < 32; i++ {
+		from := cpm.Point{X: float64(i%8) / 8, Y: float64(i/8) / 8}
+		ups = append(ups, cpm.MoveUpdate(cpm.ObjectID(i), from, cpm.Point{
+			X: from.X + 0.01, Y: from.Y + 0.01,
+		}))
+	}
+	_, ph, err := c.TickDiffsPhases(cpm.Batch{Objects: ups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Relocate <= 0 {
+		t.Errorf("relocate phase = %d ns, want > 0 (32 objects moved)", ph.Relocate)
+	}
+}
+
+func names(tr *tracing.Tracer) []string {
+	var out []string
+	for _, rec := range tr.Traces() {
+		out = append(out, rec.Name)
+	}
+	return out
+}

@@ -274,6 +274,17 @@ func (m *Monitor) TakeDiffs() []model.ResultDiff {
 	return out
 }
 
+// LastPhases returns the cost-model phase decomposition of the most
+// recent ProcessBatch. Shards run concurrently, so each phase reports the
+// slowest shard (the critical path), not the sum across shards.
+func (m *Monitor) LastPhases() model.PhaseNanos {
+	var p model.PhaseNanos
+	for _, e := range m.shards {
+		p.MaxOf(e.LastPhases())
+	}
+	return p
+}
+
 // Stats sums the shards' work counters. Searches, scans and re-computations
 // run only in the shard owning the affected query, so the sum equals a
 // single engine's counters for the same stream.

@@ -1,0 +1,512 @@
+// Package tracing is a minimal distributed-tracing core for the CPM
+// serving path: pooled spans with 64-bit trace/span ids, a probabilistic
+// head sampler, a slow-op threshold that force-records outliers even when
+// the sampler said no, and a fixed-size ring buffer ("flight recorder") of
+// completed traces dumpable as JSON.
+//
+// The design constraint is the zero-alloc steady state pinned by
+// TestSteadyStateAllocs: when an op is not sampled (and no slow-op
+// threshold is armed) StartRoot returns a nil *Span, and every method on a
+// nil *Span is a no-op — the unsampled hot path costs one RNG draw and no
+// allocations. Sampled spans come from a sync.Pool; only the per-trace
+// record (which outlives the op) is heap-allocated.
+//
+// The sampling decision is made once, at the root ("head sampling"). A
+// remote hop joins an existing trace with StartRemote and always records:
+// whoever stamped the context already decided. Trace context crosses
+// process boundaries as a Context{TraceID, SpanID} pair carried by the
+// wire protocol's trace-context extension (see internal/wire and
+// docs/TRACING.md).
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context identifies a position in a trace: the trace it belongs to and
+// the span that will be the parent of whatever the receiving hop starts.
+// A zero TraceID means "no trace" — unsampled ops carry it implicitly.
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// SampleRate is the head-sampling probability in [0, 1]. 0 never
+	// samples (slow-op force-recording still works), 1 samples every op.
+	SampleRate float64
+	// SlowOp, when positive, force-records any root op whose duration
+	// reaches it even if the sampler skipped it. This is the outlier
+	// net: p999 spikes land in the flight recorder regardless of the
+	// sample rate. Note that arming it makes every op carry a
+	// (speculative, pooled) span, so it trades steady-state allocations
+	// for outlier capture — leave it zero on alloc-critical paths.
+	SlowOp time.Duration
+	// Capacity is the flight-recorder ring size in traces (default 256).
+	Capacity int
+	// OnSlow, when set, is called synchronously with every recorded
+	// trace that crossed SlowOp. Used by the binaries to emit a slow-op
+	// log line carrying the trace id.
+	OnSlow func(RecordedTrace)
+	// Seed seeds the sampler RNG; 0 picks a random seed. Tests pin it.
+	Seed int64
+}
+
+// Tracer makes sampling decisions, pools spans, and keeps the flight
+// recorder. A nil *Tracer is valid and disables tracing entirely.
+type Tracer struct {
+	opts Options
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	pool sync.Pool // *Span
+
+	ringMu sync.Mutex
+	ring   []RecordedTrace // fixed capacity, ringN next write slot
+	ringN  int
+	total  uint64 // traces ever recorded
+}
+
+// New builds a Tracer. Returns nil when opts would never record anything
+// (SampleRate <= 0 and SlowOp == 0), so callers can gate on t == nil.
+func New(opts Options) *Tracer {
+	if opts.SampleRate <= 0 && opts.SlowOp <= 0 {
+		return nil
+	}
+	if opts.SampleRate > 1 {
+		opts.SampleRate = 1
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	t := &Tracer{
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+		ring: make([]RecordedTrace, 0, opts.Capacity),
+	}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// activeTrace is the in-flight accumulation of one trace's spans. It is
+// deliberately NOT pooled: a straggler goroutine finishing a child span
+// after the root finished appends to a dead activeTrace harmlessly
+// instead of corrupting a recycled one.
+type activeTrace struct {
+	traceID uint64
+	start   time.Time
+	nextID  atomic.Uint64 // span-id allocator (random base, see newID)
+
+	sampled     bool // head sampler said yes (or remote hop: upstream did)
+	speculative bool // created only because SlowOp is armed
+
+	mu    sync.Mutex
+	spans []RecordedSpan
+	done  bool
+}
+
+func (tr *activeTrace) newID() uint64 {
+	// Sequential from a random 64-bit base: unique within the process
+	// and collision-free across hops with overwhelming probability,
+	// without taking the tracer's RNG lock per child span.
+	return tr.nextID.Add(1)
+}
+
+// Span is one timed operation within a trace. All methods are safe on a
+// nil receiver (no-ops), which is how the unsampled path stays free.
+// A Span is owned by one goroutine between creation and Finish.
+type Span struct {
+	t      *Tracer
+	tr     *activeTrace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	root   bool
+}
+
+// StartRoot opens a root span, making the head-sampling decision. It
+// returns nil (trace nothing) unless the sampler fires or SlowOp is
+// armed; in the latter case the trace is speculative and is recorded only
+// if the root runs long. Safe on a nil Tracer.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	sampled := t.opts.SampleRate > 0 && t.rng.Float64() < t.opts.SampleRate
+	var base uint64
+	if sampled || t.opts.SlowOp > 0 {
+		base = t.rng.Uint64() | 1 // never 0: 0 means "no trace" on the wire
+	}
+	t.mu.Unlock()
+	if base == 0 {
+		return nil
+	}
+	tr := &activeTrace{
+		traceID:     base,
+		start:       time.Now(),
+		sampled:     sampled,
+		speculative: !sampled,
+	}
+	tr.nextID.Store(base)
+	return t.span(tr, name, 0, tr.start, true)
+}
+
+// StartRemote opens a server-side root span joining a trace begun on
+// another hop. The upstream made the sampling decision when it stamped
+// ctx, so a remote span always records. Safe on a nil Tracer.
+func (t *Tracer) StartRemote(name string, ctx Context) *Span {
+	if t == nil || ctx.TraceID == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	base := t.rng.Uint64() | 1
+	t.mu.Unlock()
+	tr := &activeTrace{
+		traceID: ctx.TraceID,
+		start:   time.Now(),
+		sampled: true,
+	}
+	tr.nextID.Store(base)
+	return t.span(tr, name, ctx.SpanID, tr.start, true)
+}
+
+func (t *Tracer) span(tr *activeTrace, name string, parent uint64, start time.Time, root bool) *Span {
+	s := t.pool.Get().(*Span)
+	s.t, s.tr, s.name, s.parent, s.start, s.root = t, tr, name, parent, start, root
+	s.id = tr.newID()
+	return s
+}
+
+// Child opens a child span of s. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.span(s.tr, name, s.id, time.Now(), false)
+}
+
+// ChildAt records a child span retroactively from a measured start and
+// duration — used where the timing is known after the fact (engine tick
+// phases, per-worker round trips observed by the fan-out collector) so no
+// span object has to cross goroutines mid-flight.
+func (s *Span) ChildAt(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	c := s.t.span(s.tr, name, s.id, start, false)
+	c.finishAt(start.Add(d))
+}
+
+// Context returns the propagation context for stamping downstream ops:
+// children started remotely against it become children of s.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.tr.traceID, SpanID: s.id}
+}
+
+// TraceID returns the span's trace id, 0 on a nil receiver.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.tr.traceID
+}
+
+// Finish closes the span, appends it to its trace, and recycles it. On
+// the root span it also finalizes the trace: the flight recorder keeps it
+// if it was head-sampled, or if SlowOp is armed and the op ran long.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.finishAt(time.Now())
+}
+
+func (s *Span) finishAt(end time.Time) {
+	tr, t := s.tr, s.t
+	rec := RecordedSpan{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		OffsetNs: s.start.Sub(tr.start).Nanoseconds(),
+		DurNs:    end.Sub(s.start).Nanoseconds(),
+	}
+	root := s.root
+	s.t, s.tr, s.name = nil, nil, ""
+	t.pool.Put(s)
+
+	tr.mu.Lock()
+	if tr.done {
+		// Straggler after the root finished: the trace is already
+		// recorded (or dropped); drop the span rather than mutate it.
+		tr.mu.Unlock()
+		return
+	}
+	tr.spans = append(tr.spans, rec)
+	if !root {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	spans := tr.spans
+	tr.mu.Unlock()
+
+	dur := time.Duration(rec.DurNs)
+	slow := t.opts.SlowOp > 0 && dur >= t.opts.SlowOp
+	if !tr.sampled && !slow {
+		return // speculative trace that stayed fast: forget it
+	}
+	full := RecordedTrace{
+		TraceID: tr.traceID,
+		Name:    rec.Name,
+		Start:   tr.start,
+		DurNs:   rec.DurNs,
+		Slow:    slow,
+		Spans:   spans,
+	}
+	t.record(full)
+	if slow && t.opts.OnSlow != nil {
+		t.opts.OnSlow(full)
+	}
+}
+
+func (t *Tracer) record(full RecordedTrace) {
+	t.ringMu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, full)
+	} else {
+		t.ring[t.ringN] = full
+		t.ringN = (t.ringN + 1) % cap(t.ring)
+	}
+	t.total++
+	t.ringMu.Unlock()
+}
+
+// RecordedSpan is one finished span inside a RecordedTrace. Ids are
+// rendered as hex strings in JSON (64-bit values don't survive float64
+// JSON consumers).
+type RecordedSpan struct {
+	ID       uint64 `json:"-"`
+	Parent   uint64 `json:"-"`
+	Name     string `json:"name"`
+	OffsetNs int64  `json:"offset_ns"`
+	DurNs    int64  `json:"duration_ns"`
+}
+
+type jsonSpan struct {
+	ID       string `json:"id"`
+	Parent   string `json:"parent,omitempty"`
+	Name     string `json:"name"`
+	OffsetNs int64  `json:"offset_ns"`
+	DurNs    int64  `json:"duration_ns"`
+}
+
+// MarshalJSON renders ids as fixed-width hex.
+func (s RecordedSpan) MarshalJSON() ([]byte, error) {
+	js := jsonSpan{ID: hexID(s.ID), Name: s.Name, OffsetNs: s.OffsetNs, DurNs: s.DurNs}
+	if s.Parent != 0 {
+		js.Parent = hexID(s.Parent)
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON parses the hex-id form written by MarshalJSON.
+func (s *RecordedSpan) UnmarshalJSON(p []byte) error {
+	var js jsonSpan
+	if err := json.Unmarshal(p, &js); err != nil {
+		return err
+	}
+	id, err := parseHexID(js.ID)
+	if err != nil {
+		return err
+	}
+	var parent uint64
+	if js.Parent != "" {
+		if parent, err = parseHexID(js.Parent); err != nil {
+			return err
+		}
+	}
+	*s = RecordedSpan{ID: id, Parent: parent, Name: js.Name, OffsetNs: js.OffsetNs, DurNs: js.DurNs}
+	return nil
+}
+
+// RecordedTrace is one completed trace held by the flight recorder.
+type RecordedTrace struct {
+	TraceID uint64         `json:"-"`
+	Name    string         `json:"name"`
+	Start   time.Time      `json:"start"`
+	DurNs   int64          `json:"duration_ns"`
+	Slow    bool           `json:"slow,omitempty"`
+	Spans   []RecordedSpan `json:"spans"`
+}
+
+type jsonTrace struct {
+	TraceID string         `json:"trace_id"`
+	Name    string         `json:"name"`
+	Start   time.Time      `json:"start"`
+	DurNs   int64          `json:"duration_ns"`
+	Slow    bool           `json:"slow,omitempty"`
+	Spans   []RecordedSpan `json:"spans"`
+}
+
+// MarshalJSON renders the trace id as fixed-width hex.
+func (tr RecordedTrace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTrace{
+		TraceID: hexID(tr.TraceID), Name: tr.Name, Start: tr.Start,
+		DurNs: tr.DurNs, Slow: tr.Slow, Spans: tr.Spans,
+	})
+}
+
+// UnmarshalJSON parses the hex-id form written by MarshalJSON.
+func (tr *RecordedTrace) UnmarshalJSON(p []byte) error {
+	var jt jsonTrace
+	if err := json.Unmarshal(p, &jt); err != nil {
+		return err
+	}
+	id, err := parseHexID(jt.TraceID)
+	if err != nil {
+		return err
+	}
+	*tr = RecordedTrace{TraceID: id, Name: jt.Name, Start: jt.Start,
+		DurNs: jt.DurNs, Slow: jt.Slow, Spans: jt.Spans}
+	return nil
+}
+
+func hexID(id uint64) string { return fmt.Sprintf("%016x", id) }
+func parseHexID(s string) (uint64, error) {
+	var id uint64
+	if _, err := fmt.Sscanf(s, "%x", &id); err != nil {
+		return 0, fmt.Errorf("tracing: bad id %q: %v", s, err)
+	}
+	return id, nil
+}
+
+// Traces returns the flight recorder's contents, most recent first. Safe
+// on a nil Tracer (returns nil).
+func (t *Tracer) Traces() []RecordedTrace {
+	if t == nil {
+		return nil
+	}
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	out := make([]RecordedTrace, 0, len(t.ring))
+	// ring[ringN] is the oldest once the ring wrapped; walk backwards.
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[(t.ringN+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Trace looks up a recorded trace by id. Safe on a nil Tracer.
+func (t *Tracer) Trace(id uint64) (RecordedTrace, bool) {
+	if t == nil {
+		return RecordedTrace{}, false
+	}
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	for i := range t.ring {
+		if t.ring[i].TraceID == id {
+			return t.ring[i], true
+		}
+	}
+	return RecordedTrace{}, false
+}
+
+// Recorded returns how many traces have ever been recorded (including
+// ones the ring has since evicted). Safe on a nil Tracer.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	return t.total
+}
+
+// MarshalTraces renders the flight recorder as a JSON array, most recent
+// first. Safe on a nil Tracer (renders "[]").
+func (t *Tracer) MarshalTraces() []byte {
+	traces := t.Traces()
+	if traces == nil {
+		traces = []RecordedTrace{}
+	}
+	p, err := json.Marshal(traces)
+	if err != nil { // unreachable: the types marshal cleanly
+		return []byte("[]")
+	}
+	return p
+}
+
+// ParseTraces parses the JSON array produced by MarshalTraces (and served
+// by Handler) — used by cpmload -trace to correlate server-side traces
+// with its own.
+func ParseTraces(p []byte) ([]RecordedTrace, error) {
+	var out []RecordedTrace
+	if err := json.Unmarshal(p, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Handler serves the flight recorder over HTTP: the bare path lists every
+// recorded trace as a JSON array; "?id=<hex>" (or a "/<hex>" path suffix)
+// returns one trace or 404. Mount it at /debug/traces. Safe on a nil
+// Tracer (always serves an empty list / 404).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			if i := strings.LastIndexByte(r.URL.Path, '/'); i >= 0 {
+				if suffix := r.URL.Path[i+1:]; suffix != "" && suffix != "traces" {
+					id = suffix
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if id == "" {
+			w.Write(t.MarshalTraces())
+			return
+		}
+		n, err := parseHexID(id)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		tr, ok := t.Trace(n)
+		if !ok {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		p, _ := json.Marshal(tr)
+		w.Write(p)
+	})
+}
+
+// Slowest returns the k slowest recorded traces, slowest first — the
+// cpmload -trace report. Safe on a nil Tracer.
+func (t *Tracer) Slowest(k int) []RecordedTrace {
+	traces := t.Traces()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].DurNs > traces[j].DurNs })
+	if len(traces) > k {
+		traces = traces[:k]
+	}
+	return traces
+}

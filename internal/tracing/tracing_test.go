@@ -1,0 +1,331 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartRoot("op")
+	if s != nil {
+		t.Fatalf("nil tracer StartRoot = %v, want nil", s)
+	}
+	s = tr.StartRemote("op", Context{TraceID: 7, SpanID: 1})
+	if s != nil {
+		t.Fatalf("nil tracer StartRemote = %v, want nil", s)
+	}
+	// Every method must no-op on a nil span.
+	var sp *Span
+	if c := sp.Child("x"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	sp.ChildAt("x", time.Now(), time.Millisecond)
+	sp.Finish()
+	if ctx := sp.Context(); ctx != (Context{}) {
+		t.Fatalf("nil span Context = %+v, want zero", ctx)
+	}
+	if id := sp.TraceID(); id != 0 {
+		t.Fatalf("nil span TraceID = %d, want 0", id)
+	}
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer Traces = %v, want nil", got)
+	}
+	if string(tr.MarshalTraces()) != "[]" {
+		t.Fatalf("nil tracer MarshalTraces = %s, want []", tr.MarshalTraces())
+	}
+}
+
+func TestNewDisabled(t *testing.T) {
+	if tr := New(Options{}); tr != nil {
+		t.Fatalf("New with no sampling and no slow-op = %v, want nil", tr)
+	}
+	if tr := New(Options{SampleRate: 0.5}); tr == nil {
+		t.Fatal("New with sampling = nil")
+	}
+	if tr := New(Options{SlowOp: time.Millisecond}); tr == nil {
+		t.Fatal("New with slow-op = nil")
+	}
+}
+
+func TestSampleAlways(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	for i := 0; i < 10; i++ {
+		s := tr.StartRoot("tick")
+		if s == nil {
+			t.Fatal("rate-1 sampler skipped an op")
+		}
+		c := s.Child("phase")
+		c.Finish()
+		s.Finish()
+	}
+	traces := tr.Traces()
+	if len(traces) != 10 {
+		t.Fatalf("recorded %d traces, want 10", len(traces))
+	}
+	got := traces[0]
+	if got.TraceID == 0 || got.Name != "tick" || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v, want tick with 2 spans", got)
+	}
+	// Child must parent onto the root span.
+	var root, child RecordedSpan
+	for _, sp := range got.Spans {
+		if sp.Name == "tick" {
+			root = sp
+		} else {
+			child = sp
+		}
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %x, want root %x", child.Parent, root.ID)
+	}
+}
+
+func TestSampleRateApproximate(t *testing.T) {
+	tr := New(Options{SampleRate: 0.25, Seed: 42})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		tr.StartRoot("op").Finish()
+	}
+	got := int(tr.Recorded())
+	if got < n/8 || got > n/2 {
+		t.Fatalf("rate-0.25 sampler recorded %d of %d", got, n)
+	}
+}
+
+func TestNegativeControlRecordsNothing(t *testing.T) {
+	// SampleRate 0 with SlowOp armed: fast ops must leave no trace.
+	tr := New(Options{SlowOp: time.Hour, Seed: 1})
+	for i := 0; i < 100; i++ {
+		s := tr.StartRoot("op")
+		if s == nil {
+			t.Fatal("slow-op armed but StartRoot returned nil (outliers would be lost)")
+		}
+		s.Child("phase").Finish()
+		s.Finish()
+	}
+	if n := tr.Recorded(); n != 0 {
+		t.Fatalf("unsampled fast run recorded %d traces, want 0", n)
+	}
+}
+
+func TestSlowOpForceRecords(t *testing.T) {
+	var slow []RecordedTrace
+	tr := New(Options{SlowOp: time.Millisecond, Seed: 1,
+		OnSlow: func(rt RecordedTrace) { slow = append(slow, rt) }})
+	s := tr.StartRoot("op")
+	time.Sleep(3 * time.Millisecond)
+	s.Finish()
+	traces := tr.Traces()
+	if len(traces) != 1 || !traces[0].Slow {
+		t.Fatalf("slow op not force-recorded: %+v", traces)
+	}
+	if len(slow) != 1 || slow[0].TraceID != traces[0].TraceID {
+		t.Fatalf("OnSlow callback got %+v", slow)
+	}
+}
+
+func TestRemoteJoinsTrace(t *testing.T) {
+	up := New(Options{SampleRate: 1, Seed: 1})
+	down := New(Options{SampleRate: 1, Seed: 2})
+	root := up.StartRoot("client")
+	ctx := root.Context()
+	srv := down.StartRemote("server", ctx)
+	if srv == nil {
+		t.Fatal("StartRemote = nil for a live context")
+	}
+	srv.Child("phase").Finish()
+	srv.Finish()
+	root.Finish()
+
+	st := down.Traces()
+	if len(st) != 1 || st[0].TraceID != ctx.TraceID {
+		t.Fatalf("server trace = %+v, want trace id %x", st, ctx.TraceID)
+	}
+	var srvRoot RecordedSpan
+	for _, sp := range st[0].Spans {
+		if sp.Name == "server" {
+			srvRoot = sp
+		}
+	}
+	if srvRoot.Parent != ctx.SpanID {
+		t.Fatalf("server root parent = %x, want client span %x", srvRoot.Parent, ctx.SpanID)
+	}
+	if s := down.StartRemote("server", Context{}); s != nil {
+		t.Fatalf("StartRemote with zero context = %v, want nil", s)
+	}
+}
+
+func TestChildAt(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	s := tr.StartRoot("tick")
+	base := time.Now()
+	s.ChildAt("relocate", base, 5*time.Millisecond)
+	s.Finish()
+	got := tr.Traces()[0]
+	var reloc RecordedSpan
+	for _, sp := range got.Spans {
+		if sp.Name == "relocate" {
+			reloc = sp
+		}
+	}
+	if reloc.DurNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("ChildAt duration = %d, want 5ms", reloc.DurNs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1, Capacity: 4})
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		s := tr.StartRoot("op")
+		ids = append(ids, s.TraceID())
+		s.Finish()
+	}
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(traces))
+	}
+	// Most recent first: the last 4 started, newest at index 0.
+	for i, want := range []uint64{ids[9], ids[8], ids[7], ids[6]} {
+		if traces[i].TraceID != want {
+			t.Fatalf("traces[%d] = %x, want %x", i, traces[i].TraceID, want)
+		}
+	}
+	if n := tr.Recorded(); n != 10 {
+		t.Fatalf("Recorded = %d, want 10", n)
+	}
+	// Evicted traces are not findable; retained ones are.
+	if _, ok := tr.Trace(ids[0]); ok {
+		t.Fatal("evicted trace still findable")
+	}
+	if _, ok := tr.Trace(ids[9]); !ok {
+		t.Fatal("retained trace not findable")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	s := tr.StartRoot("tick")
+	s.Child("fanout").Finish()
+	s.Finish()
+	p := tr.MarshalTraces()
+	got, err := ParseTraces(p)
+	if err != nil {
+		t.Fatalf("ParseTraces: %v", err)
+	}
+	want := tr.Traces()
+	if len(got) != 1 || got[0].TraceID != want[0].TraceID || len(got[0].Spans) != 2 {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	for i := range got[0].Spans {
+		if got[0].Spans[i] != want[0].Spans[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, got[0].Spans[i], want[0].Spans[i])
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	s := tr.StartRoot("tick")
+	id := s.TraceID()
+	s.Finish()
+
+	h := tr.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list []RecordedTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) != 1 {
+		t.Fatalf("list = %s (err %v), want 1 trace", rec.Body.String(), err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+hexID(id), nil))
+	var one RecordedTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil || one.TraceID != id {
+		t.Fatalf("lookup = %s (err %v), want trace %x", rec.Body.String(), err, id)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+hexID(id), nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil || one.TraceID != id {
+		t.Fatalf("path lookup = %s (err %v)", rec.Body.String(), err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=0000000000000000", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace = %d, want 404", rec.Code)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	for _, d := range []time.Duration{3, 1, 9, 5} {
+		s := tr.StartRoot("op")
+		s.finishAt(s.start.Add(d * time.Millisecond))
+	}
+	top := tr.Slowest(2)
+	if len(top) != 2 || top[0].DurNs < top[1].DurNs {
+		t.Fatalf("Slowest = %+v", top)
+	}
+	if top[0].DurNs != (9 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("slowest = %d, want 9ms", top[0].DurNs)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	s := tr.StartRoot("tick")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.ChildAt("w", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Finish()
+	got := tr.Traces()[0]
+	if len(got.Spans) != 801 {
+		t.Fatalf("spans = %d, want 801", len(got.Spans))
+	}
+	seen := map[uint64]bool{}
+	for _, sp := range got.Spans {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span id %x", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+func TestStragglerAfterRootFinish(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Seed: 1})
+	s := tr.StartRoot("tick")
+	c := s.Child("late")
+	s.Finish()
+	c.Finish() // must not corrupt the recorded trace
+	got := tr.Traces()[0]
+	if len(got.Spans) != 1 || got.Spans[0].Name != "tick" {
+		t.Fatalf("trace after straggler = %+v, want just the root", got.Spans)
+	}
+}
+
+func TestUnsampledPathAllocs(t *testing.T) {
+	// SampleRate very small, SlowOp off: the miss path must be free.
+	tr := New(Options{SampleRate: 1e-18, Seed: 1})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.StartRoot("op")
+		s.Child("x").Finish()
+		s.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled path allocs = %v, want 0", allocs)
+	}
+}

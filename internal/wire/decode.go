@@ -283,17 +283,24 @@ func DecodeHello(p []byte) (flags uint8, err error) {
 // DecodeWelcome validates a Welcome payload and returns the server's
 // instance identifier. The field is optional trailing data: frames from
 // servers that predate it decode with instance 0.
-func DecodeWelcome(p []byte) (instance uint64, err error) {
+func DecodeWelcome(p []byte) (instance uint64, flags uint8, err error) {
 	d := dec{p}
 	if err = checkMagic(&d); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(d.b) > 0 {
 		if instance, err = d.uvarint(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	return instance, d.done()
+	// Trailing flags byte: sent only to clients that asked for the
+	// tracing extension (HelloTrace); its absence means flags 0.
+	if len(d.b) > 0 {
+		if flags, err = d.byte(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return instance, flags, d.done()
 }
 
 // DecodeBootstrap parses an initial-population frame.
@@ -731,6 +738,88 @@ func DecodeReset(p []byte) (reqID uint64, err error) {
 		return 0, err
 	}
 	return reqID, d.done()
+}
+
+// DecodeDiffsPhases parses a Diffs frame that may carry the tick-phase
+// trailer of a HelloTrace-negotiated connection: four uvarints after the
+// diff list, detected by the bytes remaining. A plain Diffs frame decodes
+// with zero phases, so one dispatch path handles both forms.
+func DecodeDiffsPhases(p []byte) (reqID uint64, diffs []model.ResultDiff, ph model.PhaseNanos, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, nil, ph, err
+	}
+	n, err := d.count(minDiff)
+	if err != nil {
+		return 0, nil, ph, err
+	}
+	if n > 0 {
+		diffs = make([]model.ResultDiff, n)
+		for i := range diffs {
+			if diffs[i], err = d.diff(); err != nil {
+				return 0, nil, ph, err
+			}
+		}
+	}
+	if len(d.b) > 0 {
+		var v [4]uint64
+		for i := range v {
+			if v[i], err = d.uvarint(); err != nil {
+				return 0, nil, model.PhaseNanos{}, err
+			}
+		}
+		ph = model.PhaseNanos{
+			Relocate: int64(v[0]), Reeval: int64(v[1]),
+			QueryUpd: int64(v[2]), Diff: int64(v[3]),
+		}
+	}
+	return reqID, diffs, ph, d.done()
+}
+
+// DecodeTraceCtx parses a trace-context frame.
+func DecodeTraceCtx(p []byte) (traceID, spanID uint64, err error) {
+	d := dec{p}
+	if traceID, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if spanID, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if traceID == 0 {
+		return 0, 0, fmt.Errorf("%w: zero trace id", ErrMalformed)
+	}
+	return traceID, spanID, d.done()
+}
+
+// DecodeTracesReq parses a flight-recorder poll (traceID 0 = whole ring).
+func DecodeTracesReq(p []byte) (reqID, traceID uint64, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if traceID, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	return reqID, traceID, d.done()
+}
+
+// DecodeTraces parses the answer to a TracesReq. The returned doc aliases
+// p — callers that outlive the read buffer must copy it.
+func DecodeTraces(p []byte) (reqID uint64, doc []byte, err error) {
+	d := dec{p}
+	if reqID, err = d.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return 0, nil, ErrTruncated
+	}
+	doc = d.b[:n]
+	d.b = d.b[n:]
+	return reqID, doc, d.done()
 }
 
 // ParseFrame splits the first complete frame off b: it validates the

@@ -127,6 +127,18 @@ func AppendWelcome(dst []byte, instance uint64) []byte {
 	return endFrame(dst, start)
 }
 
+// AppendWelcomeFlags appends a Welcome frame with a trailing flags byte
+// (WelcomeTrace). Only sent to clients whose Hello carried HelloTrace —
+// older clients reject trailing bytes, and they never ask.
+func AppendWelcomeFlags(dst []byte, instance uint64, flags uint8) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameWelcome)
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = binary.AppendUvarint(dst, instance)
+	dst = append(dst, flags)
+	return endFrame(dst, start)
+}
+
 // AppendBootstrap appends an initial-population frame.
 func AppendBootstrap(dst []byte, reqID uint64, objs []BootstrapObject) []byte {
 	start := len(dst)
@@ -335,6 +347,26 @@ func AppendDiffs(dst []byte, reqID uint64, diffs []model.ResultDiff) []byte {
 	return endFrame(dst, start)
 }
 
+// AppendDiffsPhases appends a Diffs frame extended with the tick-phase
+// trailer: four uvarints (relocate, re-eval, query-update, diff
+// nanoseconds) after the diff list. Only sent on HelloTrace-negotiated
+// connections; DecodeDiffs detects the trailer by the bytes remaining, so
+// both forms stay decodable by the same reader.
+func AppendDiffsPhases(dst []byte, reqID uint64, diffs []model.ResultDiff, ph model.PhaseNanos) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameDiffs)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, uint64(len(diffs)))
+	for _, d := range diffs {
+		dst = appendDiff(dst, d)
+	}
+	dst = binary.AppendUvarint(dst, uint64(ph.Relocate))
+	dst = binary.AppendUvarint(dst, uint64(ph.Reeval))
+	dst = binary.AppendUvarint(dst, uint64(ph.QueryUpd))
+	dst = binary.AppendUvarint(dst, uint64(ph.Diff))
+	return endFrame(dst, start)
+}
+
 // AppendReset appends a state-wipe request frame.
 func AppendReset(dst []byte, reqID uint64) []byte {
 	start := len(dst)
@@ -350,5 +382,38 @@ func AppendGap(dst []byte, g Gap) []byte {
 	dst = binary.AppendUvarint(dst, uint64(g.SubID))
 	dst = binary.AppendUvarint(dst, g.From)
 	dst = binary.AppendUvarint(dst, g.To)
+	return endFrame(dst, start)
+}
+
+// AppendTraceCtx appends a trace-context frame: the trace id and parent
+// span id that apply to the next request frame on this connection. No
+// request id — the frame is positional and unacknowledged (HelloTrace
+// connections only).
+func AppendTraceCtx(dst []byte, traceID, spanID uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameTraceCtx)
+	dst = binary.AppendUvarint(dst, traceID)
+	dst = binary.AppendUvarint(dst, spanID)
+	return endFrame(dst, start)
+}
+
+// AppendTracesReq appends a flight-recorder poll. traceID 0 asks for the
+// whole ring; non-zero asks for one trace.
+func AppendTracesReq(dst []byte, reqID, traceID uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameTracesReq)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, traceID)
+	return endFrame(dst, start)
+}
+
+// AppendTraces appends the answer to a TracesReq: the recorder contents
+// as a JSON document (the same bytes /debug/traces serves).
+func AppendTraces(dst []byte, reqID uint64, doc []byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, FrameTraces)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, uint64(len(doc)))
+	dst = append(dst, doc...)
 	return endFrame(dst, start)
 }

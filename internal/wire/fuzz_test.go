@@ -59,11 +59,15 @@ func reencode(t FrameType, p []byte) (frame []byte, ok bool) {
 		}
 		frame = AppendHello(nil, flags)
 	case FrameWelcome:
-		inst, err := DecodeWelcome(p)
+		inst, flags, err := DecodeWelcome(p)
 		if err != nil {
 			return nil, false
 		}
-		frame = AppendWelcome(nil, inst)
+		if flags != 0 {
+			frame = AppendWelcomeFlags(nil, inst, flags)
+		} else {
+			frame = AppendWelcome(nil, inst)
+		}
 	case FrameBootstrap:
 		req, objs, err := DecodeBootstrap(p)
 		if err != nil {
@@ -166,6 +170,24 @@ func reencode(t FrameType, p []byte) (frame []byte, ok bool) {
 			return nil, false
 		}
 		frame = AppendReset(nil, req)
+	case FrameTraceCtx:
+		tid, sid, err := DecodeTraceCtx(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendTraceCtx(nil, tid, sid)
+	case FrameTracesReq:
+		req, tid, err := DecodeTracesReq(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendTracesReq(nil, req, tid)
+	case FrameTraces:
+		req, doc, err := DecodeTraces(p)
+		if err != nil {
+			return nil, false
+		}
+		frame = AppendTraces(nil, req, doc)
 	default:
 		return nil, false
 	}

@@ -127,6 +127,18 @@ const (
 	// flag — so the peer can re-bootstrap from scratch. Used by a cluster
 	// coordinator to re-sync a worker whose state is unknown.
 	FrameReset
+	// FrameTraceCtx carries distributed-trace context (trace id + parent
+	// span id) applying to the next request frame on this connection. It
+	// has no request id and gets no reply; a traced op is sent as a
+	// TraceCtx frame immediately followed by the request it annotates.
+	// Only valid on connections whose Hello carried HelloTrace.
+	FrameTraceCtx
+	// FrameTracesReq polls the server's trace flight recorder: every
+	// recorded trace, or one by id (client→server, HelloTrace only).
+	FrameTracesReq
+	// FrameTraces answers a TracesReq with the recorded traces as the
+	// JSON document the /debug/traces endpoint serves.
+	FrameTraces
 	frameMax // one past the last valid type
 )
 
@@ -146,6 +158,23 @@ const (
 	// hops, chaos proxies); the default-off keeps LAN encoding 0-alloc
 	// work identical to protocol version 1 peers.
 	HelloChecksum uint8 = 1 << 1
+	// HelloTrace negotiates the distributed-tracing extension: the client
+	// may precede request frames with TraceCtx frames and poll the trace
+	// flight recorder, the server echoes WelcomeTrace in a trailing
+	// Welcome flags byte, and Diffs replies carry a tick-phase trailer.
+	// Old servers ignore the unknown flag bit and old clients never set
+	// it, so mixed-version peers interoperate (the Welcome grows its
+	// flags byte only toward clients that asked).
+	HelloTrace uint8 = 1 << 2
+)
+
+// Welcome flag bits (the optional trailing byte of a Welcome frame, sent
+// only to clients whose Hello carried HelloTrace; absence means flags 0).
+const (
+	// WelcomeTrace confirms the server understands the tracing extension:
+	// TraceCtx/TracesReq frames are accepted and Diffs replies carry the
+	// phase trailer.
+	WelcomeTrace uint8 = 1 << 0
 )
 
 // String returns a short name for the frame type.
@@ -189,6 +218,12 @@ func (t FrameType) String() string {
 		return "diffs"
 	case FrameReset:
 		return "reset"
+	case FrameTraceCtx:
+		return "tracectx"
+	case FrameTracesReq:
+		return "tracesreq"
+	case FrameTraces:
+		return "traces"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}

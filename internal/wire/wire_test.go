@@ -102,12 +102,12 @@ func TestRoundTrip(t *testing.T) {
 	}
 	for _, inst := range []uint64{0, 7, 1<<64 - 1} {
 		check(AppendWelcome(nil, inst), FrameWelcome, func(p []byte) error {
-			got, err := DecodeWelcome(p)
+			got, flags, err := DecodeWelcome(p)
 			if err != nil {
 				return err
 			}
-			if got != inst {
-				t.Fatalf("welcome instance = %d, want %d", got, inst)
+			if got != inst || flags != 0 {
+				t.Fatalf("welcome = (%d, %#x), want (%d, 0)", got, flags, inst)
 			}
 			return nil
 		})
@@ -125,8 +125,8 @@ func TestRoundTrip(t *testing.T) {
 		if flags != 0 {
 			t.Fatalf("legacy hello flags = %#x, want 0", flags)
 		}
-		if inst, err := DecodeWelcome(p); err != nil || inst != 0 {
-			t.Fatalf("legacy welcome = (%d, %v), want (0, nil)", inst, err)
+		if inst, wflags, err := DecodeWelcome(p); err != nil || inst != 0 || wflags != 0 {
+			t.Fatalf("legacy welcome = (%d, %#x, %v), want (0, 0, nil)", inst, wflags, err)
 		}
 		return nil
 	})
@@ -440,9 +440,19 @@ func TestMalformedRejected(t *testing.T) {
 				t.Fatalf("%v payload truncated to %d bytes accepted", typ, cut)
 			}
 		}
-		// Trailing garbage must be rejected too.
-		if err := decodeAny(typ, append(append([]byte(nil), payload...), 0xFF)); err == nil {
-			t.Fatalf("%v payload with trailing byte accepted", typ)
+		// Trailing garbage must be rejected too. Welcome and Diffs grew
+		// optional trailing extensions (the flags byte; the phase
+		// trailer), so for them the garbage must exceed what the
+		// extension could absorb.
+		garbage := []byte{0xFF}
+		switch typ {
+		case FrameWelcome:
+			garbage = []byte{0xFF, 0xFF} // flags byte + one extra
+		case FrameDiffs:
+			garbage = bytes.Repeat([]byte{0x01}, 5) // 4 phase uvarints + one extra
+		}
+		if err := decodeAny(typ, append(append([]byte(nil), payload...), garbage...)); err == nil {
+			t.Fatalf("%v payload with trailing bytes accepted", typ)
 		}
 	}
 
@@ -492,7 +502,7 @@ func decodeAny(t FrameType, p []byte) error {
 		_, err := DecodeHello(p)
 		return err
 	case FrameWelcome:
-		_, err := DecodeWelcome(p)
+		_, _, err := DecodeWelcome(p)
 		return err
 	case FrameBootstrap:
 		_, _, err := DecodeBootstrap(p)
@@ -540,10 +550,19 @@ func decodeAny(t FrameType, p []byte) error {
 		_, _, err := DecodeStats(p)
 		return err
 	case FrameDiffs:
-		_, _, err := DecodeDiffs(p)
+		_, _, _, err := DecodeDiffsPhases(p)
 		return err
 	case FrameReset:
 		_, err := DecodeReset(p)
+		return err
+	case FrameTraceCtx:
+		_, _, err := DecodeTraceCtx(p)
+		return err
+	case FrameTracesReq:
+		_, _, err := DecodeTracesReq(p)
+		return err
+	case FrameTraces:
+		_, _, err := DecodeTraces(p)
 		return err
 	default:
 		return ErrMalformed
