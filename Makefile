@@ -14,7 +14,9 @@ test:
 	$(GO) test ./...
 
 # Race-sensitive packages: the sharded monitor's fan-out, the conceptual
-# partitioning it traverses, the engine it drives in parallel, the notify
+# partitioning it traverses, the engine it drives in parallel, the shared
+# grid (whose epoch-guard assertions, including their negative-control
+# tests, only compile under race/cpmassert builds), the notify
 # pub/sub layer (incl. the root package's subscriber stress test), the
 # network serving layer (wire codec, TCP server, reconnecting client),
 # the cluster coordinator's fan-out/re-sync machinery, the chaos
@@ -22,7 +24,7 @@ test:
 # and the tracing runtime (pooled spans finished from fan-out
 # goroutines, the ring buffer scraped mid-flight).
 race:
-	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/... ./internal/chaos/... ./internal/tracing/...
+	$(GO) test -race . ./internal/shard/... ./internal/conc/... ./internal/core/... ./internal/grid/... ./internal/notify/... ./internal/wire/... ./internal/server/... ./client/... ./internal/metrics/... ./internal/load/... ./internal/cluster/... ./internal/chaos/... ./internal/tracing/...
 
 # Host a self-driving CPM monitor on :7845; watch it with
 #   go run ./cmd/cpmsim -connect 127.0.0.1:7845 -follow

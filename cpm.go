@@ -181,15 +181,23 @@ type Options struct {
 	// memory-pressure fallback).
 	DropBookkeeping bool
 	// Shards runs the monitor as N hash-partitioned worker shards: every
-	// Tick fans the update batch out to one goroutine per shard and merges
-	// the results, parallelizing the per-query monitoring work across
-	// cores. Results, change notifications and work counters are exactly
-	// those of the single-engine monitor; the price is one grid replica
-	// per shard (object positions must be exact everywhere), so memory
-	// grows with the shard count. 0 or 1 keeps the single-engine path.
-	// Useful from a few hundred queries up on a multi-core machine; see
-	// internal/shard's BenchmarkTick.
+	// Tick applies the object stream once to one shared epoch-guarded
+	// grid, fans the resulting write log out to one goroutine per shard
+	// and merges the results, parallelizing the per-query monitoring work
+	// across cores. Results, change notifications and work counters are
+	// exactly those of the single-engine monitor, and memory stays
+	// O(objects) — the grid is shared, not replicated. 0 or 1 keeps the
+	// single-engine path. Useful from a few hundred queries up on a
+	// multi-core machine; see internal/shard's BenchmarkTick.
 	Shards int
+	// ScanWorkers additionally parallelizes each shard's influence-scan
+	// phase WITHIN the shard: queries are partitioned into ScanWorkers
+	// groups by home cell and the write log is scanned by a small
+	// persistent worker pool, one goroutine per group. Useful for
+	// update-heavy workloads whose scan phase dominates even after
+	// sharding (or with Shards <= 1 on a multi-core machine). Values < 2
+	// keep the serial scan. Results are unaffected.
+	ScanWorkers int
 
 	// AutoRebalance resizes the grid online as the object density drifts,
 	// instead of freezing the cell side δ at construction: at every
@@ -198,9 +206,9 @@ type Options struct {
 	// around TargetObjectsPerCell, rebuilds the grid at the size that
 	// restores the target — reinstalling all query book-keeping without
 	// recomputing a single result (results are δ-independent). With
-	// Shards > 1 the resize is coordinated across all shard replicas
-	// between ticks, so the merged streams stay exact. See the README's
-	// "Online grid rebalancing" design note.
+	// Shards > 1 the shared grid is rebuilt once between ticks and every
+	// shard reindexes in parallel, so the merged streams stay exact. See
+	// the README's "Online grid rebalancing" design note.
 	AutoRebalance bool
 	// TargetObjectsPerCell is the occupancy the rebalancing policy steers
 	// toward. Default 8.
@@ -237,6 +245,7 @@ type backend interface {
 	HasQuery(id QueryID) bool
 	InvalidUpdates() int64
 	MemoryFootprint() int64
+	GridEpoch() int64
 	LastPhases() model.PhaseNanos
 	EnableDiffs(on bool)
 	TakeDiffs() []model.ResultDiff
@@ -291,6 +300,7 @@ func newBackend(opts Options) backend {
 	copts := core.Options{
 		PerUpdate:       opts.PerUpdate,
 		DropBookkeeping: opts.DropBookkeeping,
+		ScanWorkers:     opts.ScanWorkers,
 	}
 	if opts.Shards > 1 || opts.AutoRebalance {
 		// The auto-rebalancing policy lives in the sharded monitor (it is
@@ -494,8 +504,9 @@ func (m *Monitor) Snapshot(ids ...QueryID) []QuerySnapshot {
 // migrating the object store and reinstalling every installed query's
 // index book-keeping without recomputing any result: answers are
 // δ-independent, only the index is not, so results, reported snapshots and
-// the diff stream are untouched. With Shards > 1 all shard replicas resize
-// together. Like every other method it must be called from the processing
+// the diff stream are untouched. With Shards > 1 the shared grid is
+// rebuilt once and every shard reindexes its own queries in parallel.
+// Like every other method it must be called from the processing
 // loop, between Ticks. Most callers want Options.AutoRebalance instead.
 func (m *Monitor) Rebalance(gridSize int) error {
 	if gridSize <= 0 {
@@ -657,8 +668,17 @@ func (m *Monitor) Stats() Stats { return m.e.Stats() }
 func (m *Monitor) InvalidUpdates() int64 { return m.e.InvalidUpdates() }
 
 // MemoryFootprint estimates the monitor's size in the abstract memory
-// units of the paper's Section 4.1 (one unit per stored number).
+// units of the paper's Section 4.1 (one unit per stored number). With
+// Shards > 1 the grid term is counted once — the grid is shared — so the
+// footprint matches the single-engine monitor's for the same workload.
 func (m *Monitor) MemoryFootprint() int64 { return m.e.MemoryFootprint() }
+
+// GridEpoch returns the grid's write epoch: the number of write batches
+// (bootstraps, per-Tick object-stream applications, rebuilds) applied to
+// the index so far. With Shards > 1 all shards read the one shared grid at
+// a stable epoch during each Tick's fan-out; the counter is exposed for
+// observability (the cpm_grid_epoch gauge).
+func (m *Monitor) GridEpoch() int64 { return m.e.GridEpoch() }
 
 // Method is the interface shared by CPM and the baseline monitors, for
 // side-by-side comparison. All implementations produce identical results

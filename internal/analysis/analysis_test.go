@@ -85,7 +85,7 @@ func TestCInfCSHMatchMeasurement(t *testing.T) {
 		mdl := Model{N: n, NumQ: 1, K: k, Delta: 1.0 / float64(gridSize)}
 		sumAcc := 0.0
 		const trials = 100
-		accBase := e.Grid().CellAccesses()
+		accBase := e.Stats().CellAccesses
 		for i := 0; i < trials; i++ {
 			q := geom.Point{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64()}
 			if err := e.RegisterQuery(model.QueryID(i), q, k); err != nil {
@@ -93,7 +93,7 @@ func TestCInfCSHMatchMeasurement(t *testing.T) {
 			}
 			e.RemoveQuery(model.QueryID(i))
 		}
-		sumAcc = float64(e.Grid().CellAccesses() - accBase)
+		sumAcc = float64(e.Stats().CellAccesses - accBase)
 		measuredCells := sumAcc / trials
 		// The search visits the influence region; C_inf estimates its
 		// cell count. Allow a factor-two band: the ceiling term is crude

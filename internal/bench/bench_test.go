@@ -191,13 +191,21 @@ func TestWriteReport(t *testing.T) {
 	}
 	// The two requested methods plus the always-on pseudo-method rows: the
 	// serving layer's wire-encode row, the two hotspot-drift rebalance
-	// rows, and the loopback-cluster row.
-	if len(rep.Methods) != 6 {
-		t.Fatalf("report holds %d methods, want 6", len(rep.Methods))
+	// rows, the loopback-cluster row, the two mem-footprint rows and the
+	// update-heavy scan-parallelism row.
+	if len(rep.Methods) != 9 {
+		t.Fatalf("report holds %d methods, want 9", len(rep.Methods))
 	}
 	seen := map[string]bool{}
 	for _, mr := range rep.Methods {
 		seen[mr.Method] = true
+		if strings.HasPrefix(mr.Method, "mem-") {
+			// The mem-footprint rows record resident cost, not timings.
+			if mr.MemoryUnits <= 0 || mr.MemHeapBytes <= 0 {
+				t.Errorf("implausible mem-footprint result: %+v", mr)
+			}
+			continue
+		}
 		if mr.Method == WireEncodeMethod {
 			// The wire hot path is allocation-free by design; the counter
 			// only ever sees stray background allocations, so it must stay
@@ -220,11 +228,31 @@ func TestWriteReport(t *testing.T) {
 			t.Errorf("implausible method result: %+v", mr)
 		}
 	}
-	for _, want := range []string{WireEncodeMethod, RebalanceMethod, RebalanceFrozenMethod, ClusterMethod} {
+	for _, want := range []string{WireEncodeMethod, RebalanceMethod, RebalanceFrozenMethod,
+		ClusterMethod, "mem-1shard", "mem-8shard", "updateheavy"} {
 		if !seen[want] {
 			t.Errorf("%s row missing: %+v", want, rep.Methods)
 		}
 	}
+	// The shared-grid memory story, as the report records it: the 8-shard
+	// monitor's abstract footprint must EQUAL the 1-shard monitor's — the
+	// grid term is counted once.
+	var mem1, mem8 MethodResult
+	for _, mr := range rep.Methods {
+		switch mr.Method {
+		case "mem-1shard":
+			mem1 = mr
+		case "mem-8shard":
+			mem8 = mr
+		}
+	}
+	if mem1.MemoryUnits != mem8.MemoryUnits {
+		t.Errorf("memory units differ across shard counts: 1-shard %d, 8-shard %d",
+			mem1.MemoryUnits, mem8.MemoryUnits)
+	}
+	// Measured heap is not asserted as a ratio here: at test scale the
+	// per-shard influence cell arrays dominate, so the column is tracked
+	// by the benchdiff trajectory gate instead (mem_heap_bytes).
 	if rep.GOMAXPROCS <= 0 || rep.Shards <= 0 {
 		t.Errorf("environment fields missing: %+v", rep)
 	}

@@ -59,9 +59,14 @@ type gatedMetric struct {
 	Optional bool
 }
 
+// NoiseFloorMemoryUnits is the abstract-footprint floor: unit counts below
+// it never gate (degenerate tiny-scale runs).
+const NoiseFloorMemoryUnits = 1_000
+
 // gatedMetrics are the columns of MethodResult the gate watches: the ns
 // timings plus the allocation counters, each with its own noise floor,
-// and — on load rows — the per-op latency SLO percentiles.
+// the memory-footprint columns, and — on load rows — the per-op latency
+// SLO percentiles.
 func gatedMetrics(r MethodResult) []gatedMetric {
 	return []gatedMetric{
 		{"total_ns", r.TotalNs, NoiseFloorNs, false},
@@ -69,6 +74,11 @@ func gatedMetrics(r MethodResult) []gatedMetric {
 		{"register_ns", r.RegisterNs, NoiseFloorNs, false},
 		{"mallocs", int64(r.Mallocs), NoiseFloorMallocs, false},
 		{"alloc_bytes", int64(r.AllocBytes), NoiseFloorAllocBytes, false},
+		// The footprint trajectory: memory_units on every monitor row,
+		// mem_heap_bytes on the mem-footprint rows. Both optional so rows
+		// that never record them (wire, load) keep their delta set.
+		{"memory_units", r.MemoryUnits, NoiseFloorMemoryUnits, true},
+		{"mem_heap_bytes", r.MemHeapBytes, NoiseFloorAllocBytes, true},
 		{"p50_ns", r.P50Ns, NoiseFloorNs, true},
 		{"p99_ns", r.P99Ns, NoiseFloorNs, true},
 		{"p999_ns", r.P999Ns, NoiseFloorNs, true},

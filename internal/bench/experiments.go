@@ -82,6 +82,7 @@ func All() []Experiment {
 		{"ann", "aggregate NN monitoring throughput (extension)", runANN},
 		{"ablation.recompute", "visit-list re-computation vs from-scratch fallback", runAblationRecompute},
 		{"ablation.batch", "batched vs per-update handling", runAblationBatch},
+		{"updateheavy", "update-heavy/query-light: intra-shard scan parallelism", runUpdateHeavy},
 	}
 }
 
@@ -444,6 +445,38 @@ func runAblationBatch(o Options) (Table, error) {
 	t, err := runSweep("ablation.batch", "batched vs per-update handling",
 		"f_obj", []Method{CPM, CPMPerUpdate}, points, metricCPU)
 	t.Note = note(o, base)
+	return t, err
+}
+
+// updateHeavyConfig is the preset of the updateheavy experiment: nearly
+// every object moves fast every timestamp while a small static query set
+// watches, so per-tick cost is dominated by the influence-scan phase —
+// exactly the work ScanWorkers splits by cell range inside each shard.
+func updateHeavyConfig(o Options) Config {
+	cfg := baseConfig(o)
+	cfg.Gen.ObjectAgility = 0.9
+	cfg.Gen.ObjectSpeed = generator.Fast
+	cfg.Gen.QueryAgility = 0
+	cfg.Gen.NumQueries = max(1, cfg.Gen.NumQueries/5)
+	return cfg
+}
+
+// runUpdateHeavy sweeps the intra-shard scan-worker count over the
+// update-heavy/query-light preset, for the single engine and the sharded
+// monitor: the x-axis is where the scan-phase parallelism pays (or stops
+// paying) once sharding alone has run out of independent queries.
+func runUpdateHeavy(o Options) (Table, error) {
+	o.defaults()
+	base := updateHeavyConfig(o)
+	var points []sweepPoint
+	for _, workers := range []int{1, 2, 4} {
+		cfg := base
+		cfg.ScanWorkers = workers
+		points = append(points, sweepPoint{fmt.Sprintf("%d", workers), cfg})
+	}
+	t, err := runSweep("updateheavy", "update-heavy/query-light: intra-shard scan parallelism",
+		"scan workers", []Method{CPM, CPMSharded}, points, metricCPU)
+	t.Note = note(o, base) + "; f_obj=90% fast objects, static queries at n/5; ScanWorkers sweeps the per-shard scan pool"
 	return t, err
 }
 

@@ -88,6 +88,22 @@ func (m Method) NewMonitor(gridSize, shards int) model.Monitor {
 	}
 }
 
+// newMonitorFor constructs the method's monitor for cfg, threading the
+// intra-shard scan-worker count through to the CPM variants (the baselines
+// have no scan phase to parallelize).
+func newMonitorFor(method Method, cfg Config) model.Monitor {
+	if cfg.ScanWorkers > 1 {
+		switch method {
+		case CPM:
+			return core.NewUnitEngine(cfg.GridSize, core.Options{ScanWorkers: cfg.ScanWorkers})
+		case CPMSharded:
+			return shard.NewUnit(ResolveShards(cfg.Shards), cfg.GridSize,
+				core.Options{ScanWorkers: cfg.ScanWorkers})
+		}
+	}
+	return method.NewMonitor(cfg.GridSize, cfg.Shards)
+}
+
 // ResolveShards applies the "0 means all usable cores" default.
 func ResolveShards(shards int) int {
 	if shards > 0 {
@@ -104,6 +120,10 @@ type Config struct {
 	// Shards is the CPMSharded worker count (0 = all usable cores); the
 	// other methods ignore it.
 	Shards int
+	// ScanWorkers is the intra-shard influence-scan worker count for the
+	// CPM and CPMSharded methods (values < 2 keep the serial scan); the
+	// baselines ignore it.
+	ScanWorkers int
 	// MeasureAllocs fills Measurement.Mallocs/AllocBytes. It pre-generates
 	// the whole update stream (so the allocation window excludes the
 	// generator) at the price of holding every cycle's batch in memory at
@@ -179,7 +199,7 @@ func RunMethod(method Method, cfg Config) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	mon := method.NewMonitor(cfg.GridSize, cfg.Shards)
+	mon := newMonitorFor(method, cfg)
 	// A sharded monitor owns persistent worker goroutines; release them
 	// when the measurement is done so table sweeps don't accumulate idle
 	// workers across dozens of discarded monitors.

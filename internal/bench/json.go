@@ -24,8 +24,12 @@ type MethodResult struct {
 	Mallocs      uint64 `json:"mallocs"`
 	AllocBytes   uint64 `json:"alloc_bytes"`
 	MemoryUnits  int64  `json:"memory_units"`
-	Queries      int    `json:"queries"`
-	Timestamps   int    `json:"timestamps"`
+	// MemHeapBytes is the measured Go live-heap growth of building and
+	// warming one monitor — set by the mem-footprint rows only, which pin
+	// the shared-grid memory story (footprint flat across shard counts).
+	MemHeapBytes int64 `json:"mem_heap_bytes,omitempty"`
+	Queries      int   `json:"queries"`
+	Timestamps   int   `json:"timestamps"`
 
 	// Latency-distribution columns, set by open-loop load runs
 	// (cmd/cpmload): per-op end-to-end latency percentiles and the number
@@ -114,7 +118,52 @@ func RunReport(o Options, methods []Method) (Report, error) {
 		return Report{}, err
 	}
 	rep.Methods = append(rep.Methods, cluRes)
+	// The mem-footprint rows: the same workload at 1 and 8 shards, in
+	// Section 4.1 units and measured heap bytes — flat across shard counts
+	// now that the grid is shared, and gated so it stays that way.
+	memRes, err := memoryResults(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Methods = append(rep.Methods, memRes...)
+	// The update-heavy/query-light row: the sharded monitor with an
+	// intra-shard scan pool on the scan-dominated preset, so the
+	// cell-range parallelism keeps a tracked trajectory.
+	uhRes, err := updateHeavyResult(o)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Methods = append(rep.Methods, uhRes)
 	return rep, nil
+}
+
+// updateHeavyResult runs the updateheavy preset (see runUpdateHeavy) with
+// the sharded monitor and a 4-way intra-shard scan pool, as one JSON row.
+func updateHeavyResult(o Options) (MethodResult, error) {
+	cfg := updateHeavyConfig(o)
+	cfg.ScanWorkers = 4
+	cfg.MeasureAllocs = true
+	meas, err := RunMethod(CPMSharded, cfg)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	return MethodResult{
+		Method:       "updateheavy",
+		TotalNs:      meas.Elapsed.Nanoseconds(),
+		NsPerCycle:   meas.PerCycle().Nanoseconds(),
+		RegisterNs:   meas.Registered.Nanoseconds(),
+		CellAccesses: meas.Stats.CellAccesses,
+		ObjectsProc:  meas.Stats.ObjectsProcessed,
+		HeapOps:      meas.Stats.HeapOps,
+		Recomputes:   meas.Stats.Recomputations,
+		FullSearches: meas.Stats.FullSearches,
+		ShortCircs:   meas.Stats.ShortCircuits,
+		Mallocs:      meas.Mallocs,
+		AllocBytes:   meas.AllocBytes,
+		MemoryUnits:  meas.Memory,
+		Queries:      meas.Queries,
+		Timestamps:   meas.Timestamps,
+	}, nil
 }
 
 // WriteReport runs RunReport and writes the result as indented JSON.

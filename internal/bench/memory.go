@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"cpm/internal/core"
+	"cpm/internal/generator"
+	"cpm/internal/model"
+	"cpm/internal/network"
+	"cpm/internal/shard"
+)
+
+// The mem-footprint rows of the JSON report: the same workload loaded into
+// a 1-shard and an 8-shard monitor, reporting the Section 4.1 abstract
+// units (MemoryUnits) and the measured Go heap growth (MemHeapBytes) of
+// each. With the shared grid both columns should be flat across the shard
+// counts — the grid term is counted (and allocated) once — so the
+// trajectory gate turns any reintroduction of per-shard grid replicas into
+// a visible mem_heap_bytes regression on the mem-8shard row.
+
+// memShardCounts are the fixed shard counts of the mem-footprint rows.
+var memShardCounts = []int{1, 8}
+
+// memoryResults builds one report row per entry of memShardCounts.
+func memoryResults(cfg Config) ([]MethodResult, error) {
+	out := make([]MethodResult, 0, len(memShardCounts))
+	for _, shards := range memShardCounts {
+		res, err := memoryResult(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// memoryResult loads the config's workload (bootstrap population, initial
+// query set, a few warmed cycles) into a monitor of the given shard count
+// and measures its resident cost both ways.
+func memoryResult(cfg Config, shards int) (MethodResult, error) {
+	net, err := network.Generate(cfg.Net)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	w, err := generator.New(net, cfg.Gen)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	// Pre-generate everything the run needs so the heap window below
+	// contains only the monitor.
+	boot := w.InitialObjects()
+	queries := w.InitialQueries()
+	const warmCycles = 4
+	batches := make([]model.Batch, warmCycles)
+	for i := range batches {
+		batches[i] = w.Advance()
+	}
+
+	heapBase := heapBytes()
+	mon := shard.NewUnit(shards, cfg.GridSize, core.Options{})
+	mon.Bootstrap(boot)
+	for i, q := range queries {
+		if err := mon.RegisterQuery(model.QueryID(i), q, cfg.K); err != nil {
+			return MethodResult{}, fmt.Errorf("bench: mem-%dshard register: %w", shards, err)
+		}
+	}
+	for _, b := range batches {
+		mon.ProcessBatch(b)
+	}
+	heapGrown := heapBytes() - heapBase
+	if heapGrown < 0 {
+		heapGrown = 0 // unrelated garbage collected out from under the window
+	}
+	res := MethodResult{
+		Method:       fmt.Sprintf("mem-%dshard", shards),
+		MemoryUnits:  mon.MemoryFootprint(),
+		MemHeapBytes: heapGrown,
+		Queries:      len(queries),
+		Timestamps:   warmCycles,
+	}
+	runtime.KeepAlive(batches)
+	mon.Close()
+	return res, nil
+}
+
+// heapBytes returns the live-heap size after a full collection.
+func heapBytes() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}

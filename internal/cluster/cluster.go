@@ -12,8 +12,9 @@
 // across them by the same multiplicative hash internal/shard uses for its
 // in-process shards: owner(q) = (uint32(q) · 0x9E3779B1) mod N. Every
 // query lives on exactly one worker; every worker holds a full replica of
-// the object population (object positions must be exact everywhere, just
-// as each in-process shard keeps its own grid replica).
+// the object population (object positions must be exact everywhere —
+// unlike in-process shards, which share one grid, workers are separate
+// processes and each must own its own).
 //
 // Each mutating operation fans out concurrently: a Tick sends the full
 // object-update set to every worker and routes each query update to its

@@ -116,3 +116,12 @@ func (e *Engine) ChangedQueries() []model.QueryID {
 	// Terminations append without a dedupe stamp; compact duplicates.
 	return slices.Compact(out)
 }
+
+// AppendChangedIDs appends the raw changed-id set — unsorted, possibly
+// holding duplicate termination entries — to buf and returns the extended
+// slice. The sharded monitor merges the raw sets of all engines into one
+// reused buffer and sorts/compacts once, so the serving path allocates
+// nothing beyond the shared buffer's warm capacity.
+func (e *Engine) AppendChangedIDs(buf []model.QueryID) []model.QueryID {
+	return append(buf, e.changedIDs...)
+}

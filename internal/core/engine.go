@@ -3,11 +3,14 @@
 // continuous (aggregate, optionally constrained) k nearest neighbor queries
 // over streams of object location updates.
 //
-// The engine owns a grid index (internal/grid) and a query table holding,
-// per query: its definition, the best_NN result list, best_dist, the visit
-// list and the leftover search heap (paper Figure 3.3a). Searches traverse
-// the conceptual partitioning of internal/conc. The three paper modules map
-// to three files:
+// The engine reads a grid index (internal/grid) — owned privately
+// (NewEngine) or injected and shared with sibling engines (NewSharedEngine,
+// used by internal/shard) — and owns a query table holding, per query: its
+// definition, the best_NN result list, best_dist, the visit list and the
+// leftover search heap (paper Figure 3.3a), plus the influence-list index
+// for its queries (grid.Influence). Searches traverse the conceptual
+// partitioning of internal/conc. The three paper modules map to three
+// files:
 //
 //	search.go     — NN Computation        (Figure 3.4)
 //	recompute.go  — NN Re-Computation     (Figure 3.6)
@@ -18,6 +21,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"cpm/internal/conc"
 	"cpm/internal/geom"
@@ -39,26 +43,60 @@ type Options struct {
 	// 3.3). Result maintenance then falls back to NN computation from
 	// scratch whenever re-computation would have run.
 	DropBookkeeping bool
+
+	// ScanWorkers splits the engine's influence-scan work across a small
+	// pool of persistent workers for update-heavy/query-light workloads.
+	// Queries are partitioned into ScanWorkers groups by the cell range of
+	// their home cell; each group owns a private influence index and dirty
+	// set, so the parallel scan phase shares only read-only state (the
+	// grid and the write log). Resolution stays serial, which keeps
+	// results, diffs and statistics byte-identical to the serial engine.
+	// Values below 2 mean serial scanning.
+	ScanWorkers int
 }
 
 // Engine is the CPM monitor.
 type Engine struct {
-	g       *grid.Grid
-	opts    Options
-	queries map[model.QueryID]*query
-	ranges  map[model.QueryID]*rangeQuery
+	g *grid.Grid
+	// ownsGrid distinguishes a private grid (NewEngine: the engine applies
+	// object updates itself) from an injected shared one (NewSharedEngine:
+	// the owning monitor applies writes once per tick and feeds the engine
+	// the resulting log; this engine must never mutate the grid).
+	ownsGrid bool
+	opts     Options
+	queries  map[model.QueryID]*query
+	ranges   map[model.QueryID]*rangeQuery
+
+	// infls holds the influence-list index for this engine's queries — one
+	// index per scan group (exactly one unless Options.ScanWorkers splits
+	// the scan work). Influence lists are per-query book-keeping, so they
+	// live with the engine, not in the (possibly shared) grid cells.
+	infls  []*grid.Influence
+	groups int
+
+	// applied is the reused write log of the classic (private-grid) path:
+	// ProcessBatch applies the object stream via grid.ApplyBatch and then
+	// scans the log, exactly like the sharded monitor does externally.
+	applied []grid.Applied
+
+	// Persistent scan workers (ScanWorkers ≥ 2): group w scans the tick's
+	// write log against infls[w]. Started lazily, stopped by Close.
+	scanFeed []chan []grid.Applied
+	scanWG   sync.WaitGroup
 
 	stats model.Stats
 	// Invalid stream elements are counted separately per stream. The
-	// sharded monitor (internal/shard) replicates the object stream into
-	// every shard but routes each query update to exactly one shard, so it
-	// needs the two kinds apart to report a non-inflated total.
+	// sharded monitor (internal/shard) applies the object stream once at
+	// the coordinator but routes each query update to exactly one shard,
+	// so it needs the two kinds apart to report a non-inflated total.
 	invalidObjects int64
 	invalidQueries int64
-	rebalances     int64 // grid resizes performed (Rebalance)
+	rebalances     int64 // grid resizes performed (Rebalance/Reindex)
 	cycle          int64
-	dirty          []*query      // queries touched by the current cycle
-	dirtyRanges    []*rangeQuery // range queries touched by the current cycle
+	// Per-group touched sets; group w is only appended to by the worker
+	// scanning infls[w], and all groups are drained serially in order.
+	dirty       [][]*query      // queries touched by the current cycle
+	dirtyRanges [][]*rangeQuery // range queries touched by the current cycle
 
 	// changedIDs collects the queries whose results changed since the last
 	// ProcessBatch began — the notification set of Figure 3.9 line 10.
@@ -100,6 +138,11 @@ type Engine struct {
 type query struct {
 	id  model.QueryID
 	def Def
+
+	// group is the scan group holding this query's influence entries —
+	// derived from the home cell's position in the cell range (groupOf),
+	// always 0 on a serial engine, recomputed on rebalance.
+	group int32
 
 	best resultList // best_NN; kthDist() is best_dist
 
@@ -147,18 +190,93 @@ type visitEntry struct {
 	key  float64
 }
 
-// NewEngine creates a CPM engine over a fresh grid of gridSize×gridSize
-// cells spanning the workspace.
+// NewEngine creates a CPM engine over a fresh private grid of
+// gridSize×gridSize cells spanning the workspace.
 func NewEngine(gridSize int, workspace geom.Rect, opts Options) *Engine {
-	return &Engine{
-		g:       grid.New(gridSize, workspace),
-		opts:    opts,
-		queries: make(map[model.QueryID]*query),
-		ranges:  make(map[model.QueryID]*rangeQuery),
+	return newEngine(grid.New(gridSize, workspace), true, opts)
+}
+
+// NewSharedEngine creates a CPM engine over an injected grid owned by the
+// caller (the sharded monitor). The engine keeps only per-query state and
+// its influence indexes; it never mutates the grid. Object updates must be
+// applied to the grid by the owner (grid.ApplyBatch) and fed to the engine
+// as a write log via BeginCycle/ScanApplied/ApplyQueryUpdates.
+func NewSharedEngine(g *grid.Grid, opts Options) *Engine {
+	return newEngine(g, false, opts)
+}
+
+func newEngine(g *grid.Grid, ownsGrid bool, opts Options) *Engine {
+	groups := opts.ScanWorkers
+	if groups < 2 {
+		groups = 1
+	}
+	e := &Engine{
+		g:           g,
+		ownsGrid:    ownsGrid,
+		opts:        opts,
+		queries:     make(map[model.QueryID]*query),
+		ranges:      make(map[model.QueryID]*rangeQuery),
+		infls:       make([]*grid.Influence, groups),
+		groups:      groups,
+		dirty:       make([][]*query, groups),
+		dirtyRanges: make([][]*rangeQuery, groups),
 		// Generations start at 1 so the zero-valued marks of fresh query
 		// structs never collide with the current generation.
 		changeGen: 1,
 		batchGen:  1,
+	}
+	for w := range e.infls {
+		e.infls[w] = grid.NewInfluence(g.Size() * g.Size())
+	}
+	return e
+}
+
+// groupOf maps a cell to the scan group owning queries homed there: groups
+// partition the cell range [0, size²) into contiguous, equally sized
+// stripes. With one group everything maps to 0.
+func (e *Engine) groupOf(c grid.CellIndex) int32 {
+	if e.groups == 1 {
+		return 0
+	}
+	return int32(int(c) * e.groups / (e.g.Size() * e.g.Size()))
+}
+
+// homeGroup returns the scan group for a query definition — the group of
+// the cell holding its (first) query point. Any deterministic cell works;
+// the home cell keeps neighboring queries in the same group.
+func (e *Engine) homeGroup(points []geom.Point) int32 {
+	return e.groupOf(e.g.CellOf(points[0]))
+}
+
+// Close stops the persistent scan workers (if ScanWorkers started any).
+// The engine stays usable: a later batch restarts them. Safe to call twice.
+func (e *Engine) Close() {
+	if e.scanFeed == nil {
+		return
+	}
+	for _, ch := range e.scanFeed {
+		close(ch)
+	}
+	e.scanFeed = nil
+}
+
+// ensureScanWorkers lazily starts one persistent goroutine per scan group,
+// fed a write-log slice per tick over an unbuffered channel — the same
+// zero-allocation fan-out shape as the sharded monitor's per-shard workers.
+func (e *Engine) ensureScanWorkers() {
+	if e.scanFeed != nil {
+		return
+	}
+	e.scanFeed = make([]chan []grid.Applied, e.groups)
+	for w := range e.scanFeed {
+		ch := make(chan []grid.Applied)
+		e.scanFeed[w] = ch
+		go func(w int, ch chan []grid.Applied) {
+			for log := range ch {
+				e.scanGroup(w, log)
+				e.scanWG.Done()
+			}
+		}(w, ch)
 	}
 }
 
@@ -176,8 +294,12 @@ func (e *Engine) Name() string { return "CPM" }
 func (e *Engine) Grid() *grid.Grid { return e.g }
 
 // Bootstrap loads the initial object population. It panics if objects are
-// already present: bootstrap happens once, before monitoring starts.
+// already present: bootstrap happens once, before monitoring starts. On a
+// shared-grid engine the grid's owner bootstraps instead.
 func (e *Engine) Bootstrap(objs map[model.ObjectID]geom.Point) {
+	if !e.ownsGrid {
+		panic("core: Bootstrap on a shared-grid engine (the monitor owns the grid)")
+	}
 	if e.g.Count() > 0 {
 		panic("core: Bootstrap on a non-empty engine")
 	}
@@ -209,6 +331,7 @@ func (e *Engine) Register(id model.QueryID, def Def) error {
 	qu := &query{
 		id:     id,
 		def:    def,
+		group:  e.homeGroup(def.Points),
 		best:   newResultList(def.K),
 		inList: newResultList(def.K),
 		heap:   qheap.New(16),
@@ -260,6 +383,7 @@ func (e *Engine) MoveQuery(id model.QueryID, points []geom.Point) error {
 	}
 	e.clearInfluence(qu)
 	qu.def = def
+	qu.group = e.homeGroup(def.Points)
 	e.compute(qu)
 	e.noteIfChanged(qu)
 	return nil
@@ -307,13 +431,11 @@ func (e *Engine) HasQuery(id model.QueryID) bool {
 	return ok
 }
 
-// Stats implements model.Monitor. Cell accesses come from the shared grid
-// counter; the remaining counters are engine-local.
-func (e *Engine) Stats() model.Stats {
-	s := e.stats
-	s.CellAccesses = e.g.CellAccesses()
-	return s
-}
+// Stats implements model.Monitor. All counters — including cell accesses —
+// are engine-local: a shared grid's counter would be written by concurrent
+// shards, so each engine counts the cell scans it performs itself and the
+// sharded monitor sums them.
+func (e *Engine) Stats() model.Stats { return e.stats }
 
 // InvalidUpdates returns how many stream updates were dropped as
 // inconsistent (unknown ids, duplicate inserts, …).
@@ -352,11 +474,23 @@ func (e *Engine) Bookkeeping(id model.QueryID) (visit, heap, influence int) {
 }
 
 // MemoryFootprint returns the engine's size in the abstract memory units of
-// Section 4.1: the grid term 3·N + Σ influence entries plus, per query,
-// 3 units for id and coordinates, 2·k for the result and 3 per visit-list
-// or heap entry (+4 boundary boxes live in the heap itself).
+// Section 4.1: the grid term (3·N, counted here because this engine owns or
+// co-reads the grid — the sharded monitor counts it ONCE via QueryMemoryUnits
+// instead) plus the per-query terms.
 func (e *Engine) MemoryFootprint() int64 {
-	units := e.g.MemoryFootprint()
+	return e.g.MemoryFootprint() + e.QueryMemoryUnits()
+}
+
+// QueryMemoryUnits returns the engine's own share of the Section 4.1 memory
+// model, excluding the grid term: Σ influence entries plus, per query, 3
+// units for id and coordinates, 2·k for the result and 3 per visit-list or
+// heap entry (+4 boundary boxes live in the heap itself). A sharded monitor
+// sums this over its engines and adds the shared grid term once.
+func (e *Engine) QueryMemoryUnits() int64 {
+	var units int64
+	for _, infl := range e.infls {
+		units += infl.Entries()
+	}
 	for _, qu := range e.queries {
 		units += int64(3*len(qu.def.Points) + 2*qu.def.K)
 		units += int64(3 * (len(qu.visit) + qu.heap.Len()))
@@ -364,11 +498,27 @@ func (e *Engine) MemoryFootprint() int64 {
 	return units
 }
 
+// GridEpoch returns the grid's write epoch — the number of completed write
+// batches applied to the index (see grid.Epoch).
+func (e *Engine) GridEpoch() int64 { return e.g.Epoch() }
+
+// HasInfluence reports whether query id currently holds an influence entry
+// on cell c, in any scan group (tests and analysis).
+func (e *Engine) HasInfluence(c grid.CellIndex, id model.QueryID) bool {
+	for _, infl := range e.infls {
+		if infl.Has(c, id) {
+			return true
+		}
+	}
+	return false
+}
+
 // clearInfluence removes the query from the influence lists of all cells in
 // its influence prefix and resets its book-keeping.
 func (e *Engine) clearInfluence(qu *query) {
+	infl := e.infls[qu.group]
 	for _, ve := range qu.visit[:qu.influenceEnd] {
-		e.g.RemoveInfluence(ve.cell, qu.id)
+		infl.Remove(ve.cell, qu.id)
 	}
 	qu.visit = qu.visit[:0]
 	qu.influenceEnd = 0

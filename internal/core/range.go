@@ -27,6 +27,10 @@ type rangeQuery struct {
 	center geom.Point
 	radius float64
 
+	// group is the scan group holding this query's influence entries
+	// (see query.group).
+	group int32
+
 	// members is the current result (object -> distance). Membership needs
 	// O(1) keyed update from rangeScan, and unlike the grid's cell sets it
 	// is only iterated when this query's result actually changed, so a map
@@ -59,6 +63,7 @@ func (e *Engine) RegisterRange(id model.QueryID, center geom.Point, radius float
 		id:      id,
 		center:  center,
 		radius:  radius,
+		group:   e.groupOf(e.g.CellOf(center)),
 		members: make(map[model.ObjectID]float64),
 	}
 	e.ranges[id] = rq
@@ -79,10 +84,12 @@ func (e *Engine) RegisterRange(id model.QueryID, center geom.Point, radius float
 // ran) and CellsInCircle enumerates distinct cells.
 func (e *Engine) evaluateRange(rq *rangeQuery) {
 	e.stats.FullSearches++
+	infl := e.infls[rq.group]
 	e.g.CellsInCircle(rq.center, rq.radius, func(c grid.CellIndex) {
-		e.g.AddInfluenceUnchecked(c, rq.id)
+		infl.AddUnchecked(c, rq.id)
 		rq.cells = append(rq.cells, c)
-		objs := e.g.CellObjects(c)
+		objs := e.g.Objects(c)
+		e.stats.CellAccesses++
 		e.stats.ObjectsProcessed += int64(len(objs))
 		for _, id := range objs {
 			if d := geom.Dist(e.g.Pos(id), rq.center); d <= rq.radius {
@@ -94,8 +101,9 @@ func (e *Engine) evaluateRange(rq *rangeQuery) {
 
 // clearRange removes the query's influence entries and result.
 func (e *Engine) clearRange(rq *rangeQuery) {
+	infl := e.infls[rq.group]
 	for _, c := range rq.cells {
-		e.g.RemoveInfluence(c, rq.id)
+		infl.Remove(c, rq.id)
 	}
 	rq.cells = rq.cells[:0]
 	clear(rq.members)
@@ -113,6 +121,7 @@ func (e *Engine) MoveRange(id model.QueryID, center geom.Point) error {
 	}
 	e.clearRange(rq)
 	rq.center = center
+	rq.group = e.groupOf(e.g.CellOf(center))
 	e.evaluateRange(rq)
 	e.noteRangeIfChanged(rq)
 	return nil
@@ -120,16 +129,18 @@ func (e *Engine) MoveRange(id model.QueryID, center geom.Point) error {
 
 // rangeScan folds one object event into every range query whose influence
 // lists route it here. present is false for deletes; the influence list is
-// iterated as a borrowed slice (membership updates never touch it).
-func (e *Engine) rangeScan(c grid.CellIndex, id model.ObjectID, pos geom.Point, present bool) {
-	for _, qid := range e.g.Influence(c) {
+// iterated as a borrowed slice (membership updates never touch it). infl is
+// the scan group's index, so concurrent groups only ever touch their own
+// range queries.
+func (e *Engine) rangeScan(infl *grid.Influence, c grid.CellIndex, id model.ObjectID, pos geom.Point, present bool) {
+	for _, qid := range infl.List(c) {
 		rq, ok := e.ranges[qid]
 		if !ok || rq.ignoreMark == e.batchGen {
 			continue
 		}
 		if rq.cycleMark != e.cycle {
 			rq.cycleMark = e.cycle
-			e.dirtyRanges = append(e.dirtyRanges, rq)
+			e.dirtyRanges[rq.group] = append(e.dirtyRanges[rq.group], rq)
 		}
 		if !present {
 			delete(rq.members, id)

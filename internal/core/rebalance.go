@@ -37,17 +37,37 @@ import (
 // leaving every result — and therefore the reported snapshots and the diff
 // stream — untouched. A no-op when newSize equals the current size. It must
 // be called between processing cycles (same single-caller contract as
-// ProcessBatch).
+// ProcessBatch). On a shared grid the monitor owns the resize: it rebuilds
+// the grid once and calls Reindex on every engine.
 func (e *Engine) Rebalance(newSize int) {
 	if newSize == e.g.Size() {
 		return
 	}
+	if !e.ownsGrid {
+		panic("core: Rebalance on a shared-grid engine (the monitor owns the grid)")
+	}
 	e.g.Rebuild(newSize)
+	e.Reindex()
+}
+
+// Reindex rebuilds every installed query's book-keeping against the grid's
+// current geometry — the engine half of a resize, runnable in parallel
+// across the engines of a shared grid (all reindex work is per-query and
+// scans no objects). The influence indexes are reset wholesale first; scan
+// groups are re-derived because the home-cell → group mapping depends on
+// the cell count.
+func (e *Engine) Reindex() {
 	e.rebalances++
+	cellCount := e.g.Size() * e.g.Size()
+	for _, infl := range e.infls {
+		infl.Reset(cellCount)
+	}
 	for _, qu := range e.queries {
+		qu.group = e.homeGroup(qu.def.Points)
 		e.reindexQuery(qu)
 	}
 	for _, rq := range e.ranges {
+		rq.group = e.groupOf(e.g.CellOf(rq.center))
 		e.reindexRange(rq)
 	}
 }
@@ -72,8 +92,8 @@ func (e *Engine) GridSize() int { return e.g.Size() }
 // prefix is therefore a superset of a fresh search's — harmless, since
 // influence routing is filtered by distance again at scan time.
 func (e *Engine) reindexQuery(qu *query) {
-	// The old grid's influence entries died with Rebuild; only the
-	// engine-side state needs resetting.
+	// The old geometry's influence entries died with the wholesale
+	// Influence.Reset in Reindex; only the per-query state needs resetting.
 	qu.visit = qu.visit[:0]
 	qu.influenceEnd = 0
 	qu.heap.Reset()
@@ -81,6 +101,7 @@ func (e *Engine) reindexQuery(qu *query) {
 	part := e.partitionFor(qu.def)
 	e.seedHeap(qu, part)
 	bound := qu.best.kthDist()
+	infl := e.infls[qu.group]
 	for {
 		top, ok := qu.heap.Min()
 		if !ok || top.Key > bound {
@@ -90,7 +111,7 @@ func (e *Engine) reindexQuery(qu *query) {
 		e.stats.HeapOps++
 		if !isStrip(top.Payload) {
 			c := payloadCell(top.Payload)
-			e.g.AddInfluenceUnchecked(c, qu.id)
+			infl.AddUnchecked(c, qu.id)
 			qu.visit = append(qu.visit, visitEntry{cell: c, key: top.Key})
 			continue
 		}
@@ -110,8 +131,9 @@ func (e *Engine) reindexQuery(qu *query) {
 // Membership is δ-independent, so the member set is untouched.
 func (e *Engine) reindexRange(rq *rangeQuery) {
 	rq.cells = rq.cells[:0]
+	infl := e.infls[rq.group]
 	e.g.CellsInCircle(rq.center, rq.radius, func(c grid.CellIndex) {
-		e.g.AddInfluenceUnchecked(c, rq.id)
+		infl.AddUnchecked(c, rq.id)
 		rq.cells = append(rq.cells, c)
 	})
 }

@@ -31,6 +31,7 @@ func (e *Engine) recompute(qu *query) {
 	// earlier shrinks but needed again by the necessarily larger new
 	// best_dist) get an unchecked O(1) append.
 	processed := 0
+	infl := e.infls[qu.group]
 	for processed < len(qu.visit) {
 		ve := qu.visit[processed]
 		if ve.key >= qu.best.kthDist() {
@@ -38,7 +39,7 @@ func (e *Engine) recompute(qu *query) {
 		}
 		e.scanCellObjects(qu, ve.cell)
 		if processed >= oldInfluenceEnd {
-			e.g.AddInfluenceUnchecked(ve.cell, qu.id)
+			infl.AddUnchecked(ve.cell, qu.id)
 		}
 		processed++
 	}
@@ -64,8 +65,9 @@ func (e *Engine) shrinkInfluence(qu *query) {
 	if newEnd > qu.influenceEnd {
 		newEnd = qu.influenceEnd
 	}
+	infl := e.infls[qu.group]
 	for i := newEnd; i < qu.influenceEnd; i++ {
-		e.g.RemoveInfluence(qu.visit[i].cell, qu.id)
+		infl.Remove(qu.visit[i].cell, qu.id)
 	}
 	qu.influenceEnd = newEnd
 }

@@ -136,15 +136,17 @@ func (e *Engine) runSearch(qu *query, part conc.Partition) {
 // prefix of that list, so the query cannot already be present.
 func (e *Engine) scanCell(qu *query, c grid.CellIndex) {
 	e.scanCellObjects(qu, c)
-	e.g.AddInfluenceUnchecked(c, qu.id)
+	e.infls[qu.group].AddUnchecked(c, qu.id)
 }
 
 // scanCellObjects is scanCell without the influence bookkeeping, for the
 // re-computation replay, which knows per visit entry whether the influence
-// entry already exists.
+// entry already exists. The cell access is counted in the engine's own
+// stats (not the grid's counter, which is unsynchronized on a shared grid).
 func (e *Engine) scanCellObjects(qu *query, c grid.CellIndex) {
 	def := &qu.def
-	objs := e.g.CellObjects(c)
+	objs := e.g.Objects(c)
+	e.stats.CellAccesses++
 	e.stats.ObjectsProcessed += int64(len(objs))
 	for _, id := range objs {
 		p := e.g.Pos(id)
@@ -171,8 +173,9 @@ func (e *Engine) finishSearch(qu *query, processedEnd, curInfluenceEnd int) {
 	if curInfluenceEnd > cur {
 		cur = curInfluenceEnd
 	}
+	infl := e.infls[qu.group]
 	for i := newEnd; i < cur; i++ {
-		e.g.RemoveInfluence(qu.visit[i].cell, qu.id)
+		infl.Remove(qu.visit[i].cell, qu.id)
 	}
 	qu.influenceEnd = newEnd
 }

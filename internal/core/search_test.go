@@ -228,11 +228,11 @@ func TestSearchMinimality(t *testing.T) {
 		e := NewUnitEngine(16, Options{})
 		e.Bootstrap(w.populate(400))
 		q := w.randPoint()
-		before := e.Grid().CellAccesses()
+		before := e.Stats().CellAccesses
 		if err := e.RegisterQuery(1, q, 4); err != nil {
 			t.Fatal(err)
 		}
-		accesses := e.Grid().CellAccesses() - before
+		accesses := e.Stats().CellAccesses - before
 		bd := e.BestDist(1)
 		// Count cells with mindist(c,q) < bd; cells at exactly bd need not
 		// be visited. Empty cells still count: a scan of an empty cell is
@@ -283,7 +283,7 @@ func TestRemoveQueryClearsInfluence(t *testing.T) {
 	}
 	e.RemoveQuery(1)
 	for idx := 0; idx < 16*16; idx++ {
-		if e.Grid().HasInfluence(grid.CellIndex(idx), 1) {
+		if e.HasInfluence(grid.CellIndex(idx), 1) {
 			t.Fatalf("influence left in cell %d after removal", idx)
 		}
 	}

@@ -193,7 +193,7 @@ func checkInvariants(t *testing.T, e *Engine, id model.QueryID) {
 			t.Fatalf("query %d: cell %d appears twice in visit list", id, ve.cell)
 		}
 		seen[int64(ve.cell)] = true
-		hasInf := e.Grid().HasInfluence(ve.cell, id)
+		hasInf := e.HasInfluence(ve.cell, id)
 		if i < qu.influenceEnd && !hasInf {
 			t.Fatalf("query %d: influence missing for visit[%d] (cell %d)", id, i, ve.cell)
 		}
@@ -214,7 +214,7 @@ func checkInvariants(t *testing.T, e *Engine, id model.QueryID) {
 			t.Fatalf("query %d: result contains dead object %d", id, n.ID)
 		}
 		c := e.Grid().CellOf(p)
-		if !e.Grid().HasInfluence(c, id) {
+		if !e.HasInfluence(c, id) {
 			t.Fatalf("query %d: result member %d's cell %d lacks influence", id, n.ID, c)
 		}
 		if math.Abs(qu.def.dist(p)-n.Dist) > 1e-9 {

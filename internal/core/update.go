@@ -15,62 +15,106 @@ import (
 // termination plus a fresh installation, Section 3.3) — and leaves every
 // installed query's result current.
 //
+// Only the private-grid engine applies the object stream itself; it does so
+// through grid.ApplyBatch — apply all index mutations, then scan the write
+// log — which is exactly the cycle shape the sharded monitor drives
+// externally over a shared grid (BeginCycle / ScanApplied /
+// ApplyQueryUpdates). The log-then-scan split is lossless: the influence
+// scans of Figure 3.8 classify objects by their logged position and cell
+// transition and never read the grid's object data, so scanning after all
+// writes observes exactly what interleaved scanning did.
+//
 // Inconsistent stream elements (moves or deletes of unknown objects,
 // duplicate inserts, updates for unknown queries) are dropped and counted
 // in InvalidUpdates; a monitoring server must outlive a misbehaving client.
 //
 // A steady-state cycle (moves only, warmed buffers) performs zero heap
-// allocations: the per-cycle sets are generation-stamped reused slices, and
-// all influence and cell scans iterate borrowed grid slices.
+// allocations: the write log and per-cycle sets are reused slices, and all
+// influence and cell scans iterate borrowed slices.
 func (e *Engine) ProcessBatch(b model.Batch) {
+	if !e.ownsGrid {
+		panic("core: ProcessBatch on a shared-grid engine (the monitor applies updates)")
+	}
+	e.BeginCycle(b.Queries)
+	if e.opts.PerUpdate {
+		// Ablation X2: Section 3.2 semantics — each update is applied,
+		// classified and resolved on its own, so an outgoing NN triggers
+		// re-computation even when a later update this cycle would have
+		// compensated for it.
+		for i := range b.Objects {
+			var invalid int64
+			e.applied, invalid = e.g.ApplyBatch(b.Objects[i:i+1], e.applied[:0])
+			e.invalidObjects += invalid
+			e.ScanApplied(e.applied)
+		}
+	} else {
+		t0 := time.Now()
+		var invalid int64
+		e.applied, invalid = e.g.ApplyBatch(b.Objects, e.applied[:0])
+		e.invalidObjects += invalid
+		// Index maintenance is part of the relocation phase of the Section
+		// 4 cost model; ScanApplied adds the scan share on top.
+		e.phases.Relocate += time.Since(t0).Nanoseconds()
+		e.ScanApplied(e.applied)
+	}
+	e.ApplyQueryUpdates(b.Queries)
+}
+
+// BeginCycle opens one processing cycle: it resets the phase decomposition
+// and the notification window, and stamps the queries that have their own
+// update in queries so the object-update scans skip them (the per-cycle
+// "ignore" set of Figure 3.9, kept as generation marks instead of a map).
+// The sharded monitor calls this on every engine before applying the
+// tick's writes; ProcessBatch is BeginCycle + apply/ScanApplied +
+// ApplyQueryUpdates.
+func (e *Engine) BeginCycle(queries []model.QueryUpdate) {
 	e.phases = model.PhaseNanos{}
 	e.changeGen++
 	e.changedIDs = e.changedIDs[:0]
 	e.batchGen++
-	for _, qu := range b.Queries {
-		// Stamp the queries with their own updates this cycle; the
-		// object-update scans skip them instead of consulting a map.
+	for _, qu := range queries {
 		if q, ok := e.queries[qu.ID]; ok {
 			q.ignoreMark = e.batchGen
 		} else if rq, ok := e.ranges[qu.ID]; ok {
 			rq.ignoreMark = e.batchGen
 		}
 	}
+}
 
-	// Phase boundaries for the Section 4 cost-model decomposition
-	// (model.PhaseNanos): time.Now() does not allocate, so the stamps are
-	// compatible with the zero-alloc steady-state contract.
-	if e.opts.PerUpdate {
-		// Ablation X2: Section 3.2 semantics — each update is classified
-		// and resolved on its own, so an outgoing NN triggers
-		// re-computation even when a later update this cycle would have
-		// compensated for it. Phase times accumulate across the
-		// interleaved per-update rounds.
-		for _, u := range b.Objects {
-			e.cycle++
-			t0 := time.Now()
-			e.applyObjectUpdate(u)
-			t1 := time.Now()
-			e.resolveDirty()
-			t2 := time.Now()
-			e.phases.Relocate += t1.Sub(t0).Nanoseconds()
-			e.phases.Reeval += t2.Sub(t1).Nanoseconds()
+// ScanApplied routes one write log — the grid mutations of a tick (or of a
+// single update in per-update mode), already applied by the grid's owner —
+// through the engine's influence indexes (Figure 3.8 scans) and resolves
+// every touched query. The grid must be at a stable epoch: the scans read
+// only the log and per-query state, and resolution (which does read the
+// grid) runs after the fan-out barrier on a serial path. Phase times
+// accumulate so per-update rounds compose.
+func (e *Engine) ScanApplied(log []grid.Applied) {
+	e.cycle++
+	t0 := time.Now()
+	if e.groups == 1 {
+		e.scanGroup(0, log)
+	} else if len(log) > 0 {
+		e.ensureScanWorkers()
+		e.scanWG.Add(e.groups)
+		for _, ch := range e.scanFeed {
+			ch <- log
 		}
-	} else {
-		e.cycle++
-		t0 := time.Now()
-		for _, u := range b.Objects {
-			e.applyObjectUpdate(u)
-		}
-		t1 := time.Now()
-		e.resolveDirty()
-		t2 := time.Now()
-		e.phases.Relocate = t1.Sub(t0).Nanoseconds()
-		e.phases.Reeval = t2.Sub(t1).Nanoseconds()
+		e.scanWG.Wait()
 	}
+	t1 := time.Now()
+	e.resolveDirty()
+	t2 := time.Now()
+	e.phases.Relocate += t1.Sub(t0).Nanoseconds()
+	e.phases.Reeval += t2.Sub(t1).Nanoseconds()
+}
 
+// ApplyQueryUpdates applies the query stream U_q for the cycle opened by
+// BeginCycle. The sharded monitor routes each query update to exactly one
+// engine, so the updates seen here are a subset of the batch passed to
+// BeginCycle.
+func (e *Engine) ApplyQueryUpdates(queries []model.QueryUpdate) {
 	qStart := time.Now()
-	for _, qu := range b.Queries {
+	for _, qu := range queries {
 		switch qu.Kind {
 		case model.QueryTerminate:
 			_, isNN := e.queries[qu.ID]
@@ -98,14 +142,15 @@ func (e *Engine) ProcessBatch(b model.Batch) {
 			e.invalidQueries++
 		}
 	}
-	e.phases.QueryUpd = time.Since(qStart).Nanoseconds()
+	e.phases.QueryUpd += time.Since(qStart).Nanoseconds()
 }
 
 // touch lazily initializes a query's per-cycle update-handling state
 // (Figure 3.8 lines 1–3) the first time an update concerns it, and records
-// it for resolution. refDist freezes best_dist at its start-of-cycle value:
-// incomer/outgoer classification must use the influence-region radius, not
-// a value drifting as the result mutates mid-cycle.
+// it in its group's dirty set. refDist freezes best_dist at its
+// start-of-cycle value: incomer/outgoer classification must use the
+// influence-region radius, not a value drifting as the result mutates
+// mid-cycle.
 func (e *Engine) touch(qu *query) {
 	if qu.cycleMark == e.cycle {
 		return
@@ -116,87 +161,59 @@ func (e *Engine) touch(qu *query) {
 	qu.inList.reset()
 	qu.inDropped = false
 	qu.forceRecompute = false
-	e.dirty = append(e.dirty, qu)
+	e.dirty[qu.group] = append(e.dirty[qu.group], qu)
 }
 
-// applyObjectUpdate applies one element of U_P to the grid and performs the
-// influence-list scans of Figure 3.8 (lines 4–16), extended with insert and
-// delete events: a deleted NN is an outgoing NN ("CPM trivially deals with
-// off-line NNs by treating them as outgoing ones", Section 4.2).
-func (e *Engine) applyObjectUpdate(u model.Update) {
-	switch u.Kind {
-	case model.Move:
-		if !finitePoint(u.New) {
-			e.invalidObjects++
-			return
-		}
-		// The grid stores positions clamped onto the workspace; the scans
-		// below must see the same point the index stores, or an object's
-		// routed distance would disagree with its stored one.
-		p := e.g.Clamp(u.New)
-		oldCell, newCell, err := e.g.Move(u.ID, p)
-		if err != nil {
-			e.invalidObjects++
-			return
-		}
-		// Affected-cell pre-filter: with both cells outside every influence
-		// region the Figure 3.8 scans would iterate empty influence lists,
-		// so only the index mutation above is needed. Under the sharded
-		// monitor each shard's influence lists cover only its own queries,
-		// which makes this the per-shard update routing filter.
-		if e.g.InfluenceLen(oldCell) == 0 && e.g.InfluenceLen(newCell) == 0 {
-			return
-		}
-		e.scanOldCell(u.ID, p, oldCell)
-		e.scanNewCell(u.ID, p, newCell)
-		e.rangeScan(oldCell, u.ID, p, true)
-		if newCell != oldCell {
-			e.rangeScan(newCell, u.ID, p, true)
-		}
-	case model.Insert:
-		if !finitePoint(u.New) {
-			e.invalidObjects++
-			return
-		}
-		p := e.g.Clamp(u.New)
-		if err := e.g.Insert(u.ID, p); err != nil {
-			e.invalidObjects++
-			return
-		}
-		newCell := e.g.CellOf(p)
-		if e.g.InfluenceLen(newCell) == 0 {
-			return
-		}
-		e.scanNewCell(u.ID, p, newCell)
-		e.rangeScan(newCell, u.ID, p, true)
-	case model.Delete:
-		pos, ok := e.g.Position(u.ID)
-		if !ok {
-			e.invalidObjects++
-			return
-		}
-		oldCell := e.g.CellOf(pos)
-		if err := e.g.Delete(u.ID); err != nil {
-			e.invalidObjects++
-			return
-		}
-		if e.g.InfluenceLen(oldCell) == 0 {
-			return
-		}
-		for _, qid := range e.g.Influence(oldCell) {
-			qu := e.lookupActive(qid)
-			if qu == nil {
+// scanGroup performs the influence-list scans of Figure 3.8 (lines 4–16) for
+// one scan group over a tick's write log, extended with insert and delete
+// events: a deleted NN is an outgoing NN ("CPM trivially deals with off-line
+// NNs by treating them as outgoing ones", Section 4.2). Group w reads only
+// infls[w] and the per-query state of the queries homed there, so all groups
+// can scan the same log concurrently.
+func (e *Engine) scanGroup(w int, log []grid.Applied) {
+	infl := e.infls[w]
+	for i := range log {
+		a := &log[i]
+		switch a.Kind {
+		case model.Move:
+			// Affected-cell pre-filter: with both cells outside every
+			// influence region of this group the Figure 3.8 scans would
+			// iterate empty influence lists. Under the sharded monitor each
+			// shard's influence lists cover only its own queries, which
+			// makes this the per-shard (and per-group) update routing
+			// filter.
+			if infl.Len(a.Old) == 0 && infl.Len(a.New) == 0 {
 				continue
 			}
-			e.touch(qu)
-			if qu.best.remove(u.ID) {
-				qu.outCount++
+			e.scanOldCell(infl, a.ID, a.Pos, a.Old)
+			e.scanNewCell(infl, a.ID, a.Pos, a.New)
+			e.rangeScan(infl, a.Old, a.ID, a.Pos, true)
+			if a.New != a.Old {
+				e.rangeScan(infl, a.New, a.ID, a.Pos, true)
 			}
-			qu.dropIncomer(u.ID)
+		case model.Insert:
+			if infl.Len(a.New) == 0 {
+				continue
+			}
+			e.scanNewCell(infl, a.ID, a.Pos, a.New)
+			e.rangeScan(infl, a.New, a.ID, a.Pos, true)
+		case model.Delete:
+			if infl.Len(a.Old) == 0 {
+				continue
+			}
+			for _, qid := range infl.List(a.Old) {
+				qu := e.lookupActive(qid)
+				if qu == nil {
+					continue
+				}
+				e.touch(qu)
+				if qu.best.remove(a.ID) {
+					qu.outCount++
+				}
+				qu.dropIncomer(a.ID)
+			}
+			e.rangeScan(infl, a.Old, a.ID, a.Pos, false)
 		}
-		e.rangeScan(oldCell, u.ID, pos, false)
-	default:
-		e.invalidObjects++
 	}
 }
 
@@ -206,8 +223,8 @@ func (e *Engine) applyObjectUpdate(u model.Update) {
 // dropped from in_list; scanNewCell re-admits it if it still qualifies.
 // The influence list is iterated as a borrowed slice: the scans only
 // mutate per-query result state, never the influence lists themselves.
-func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
-	for _, qid := range e.g.Influence(c) {
+func (e *Engine) scanOldCell(infl *grid.Influence, id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
+	for _, qid := range infl.List(c) {
 		qu := e.lookupActive(qid)
 		if qu == nil {
 			continue
@@ -230,8 +247,8 @@ func (e *Engine) scanOldCell(id model.ObjectID, newPos geom.Point, c grid.CellIn
 // scanNewCell handles lines 14–16 of Figure 3.8 for the cell the object
 // entered: an object other than a current NN that lies within refDist (and
 // inside the constraint region, if any) is an incoming object.
-func (e *Engine) scanNewCell(id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
-	for _, qid := range e.g.Influence(c) {
+func (e *Engine) scanNewCell(infl *grid.Influence, id model.ObjectID, newPos geom.Point, c grid.CellIndex) {
+	for _, qid := range infl.List(c) {
 		qu := e.lookupActive(qid)
 		if qu == nil {
 			continue
@@ -278,25 +295,33 @@ func (e *Engine) lookupActive(qid model.QueryID) *query {
 // NNs, the new result is the k best of best_NN ∪ in_list — the circle of
 // radius refDist provably still holds k objects, so no grid access is
 // needed. Otherwise the NN Re-Computation module runs. Either way the
-// influence region is re-tightened to the new best_dist.
+// influence region is re-tightened to the new best_dist. Groups are drained
+// serially in group order; the effect per query is order-independent, and
+// the change/diff stream is canonicalized downstream (ChangedQueries sorts,
+// TakeDiffs consumers sort by query id), so grouping does not alter
+// observable output.
 func (e *Engine) resolveDirty() {
-	for _, qu := range e.dirty {
-		if !qu.forceRecompute && qu.inList.len() >= qu.outCount {
-			e.stats.ShortCircuits++
-			for _, n := range qu.inList.items {
-				qu.best.offer(n.ID, n.Dist)
+	for w := range e.dirty {
+		for _, qu := range e.dirty[w] {
+			if !qu.forceRecompute && qu.inList.len() >= qu.outCount {
+				e.stats.ShortCircuits++
+				for _, n := range qu.inList.items {
+					qu.best.offer(n.ID, n.Dist)
+				}
+				e.shrinkInfluence(qu)
+			} else {
+				e.recompute(qu)
 			}
-			e.shrinkInfluence(qu)
-		} else {
-			e.recompute(qu)
+			qu.outCount = 0
+			qu.inList.reset()
+			e.noteIfChanged(qu)
 		}
-		qu.outCount = 0
-		qu.inList.reset()
-		e.noteIfChanged(qu)
+		e.dirty[w] = e.dirty[w][:0]
 	}
-	e.dirty = e.dirty[:0]
-	for _, rq := range e.dirtyRanges {
-		e.noteRangeIfChanged(rq)
+	for w := range e.dirtyRanges {
+		for _, rq := range e.dirtyRanges[w] {
+			e.noteRangeIfChanged(rq)
+		}
+		e.dirtyRanges[w] = e.dirtyRanges[w][:0]
 	}
-	e.dirtyRanges = e.dirtyRanges[:0]
 }

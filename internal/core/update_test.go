@@ -92,7 +92,7 @@ func TestShortCircuitNoGridAccess(t *testing.T) {
 	if err := e.RegisterQuery(1, q, 1); err != nil {
 		t.Fatal(err)
 	}
-	before := e.Grid().CellAccesses()
+	before := e.Stats().CellAccesses
 	// Object 2 moves next to q: it becomes the NN via the incomer path.
 	e.ProcessBatch(model.Batch{Objects: []model.Update{
 		model.MoveUpdate(2, geom.Point{X: 0.9, Y: 0.9}, geom.Point{X: 0.505, Y: 0.5}),
@@ -100,7 +100,7 @@ func TestShortCircuitNoGridAccess(t *testing.T) {
 	if got := e.Result(1); len(got) != 1 || got[0].ID != 2 {
 		t.Fatalf("result = %v, want object 2", got)
 	}
-	if acc := e.Grid().CellAccesses() - before; acc != 0 {
+	if acc := e.Stats().CellAccesses - before; acc != 0 {
 		t.Fatalf("short-circuit path accessed %d cells, want 0", acc)
 	}
 	if e.Stats().ShortCircuits == 0 {
@@ -222,13 +222,13 @@ func TestUpdateFarAwayIgnored(t *testing.T) {
 	if err := e.RegisterQuery(1, q, 2); err != nil {
 		t.Fatal(err)
 	}
-	accBefore := e.Grid().CellAccesses()
+	accBefore := e.Stats().CellAccesses
 	scBefore := e.Stats().ShortCircuits
 	e.ProcessBatch(model.Batch{Objects: []model.Update{
 		model.MoveUpdate(3, geom.Point{X: 0.95, Y: 0.95}, geom.Point{X: 0.9, Y: 0.9}),
 		model.MoveUpdate(4, geom.Point{X: 0.05, Y: 0.95}, geom.Point{X: 0.1, Y: 0.9}),
 	}})
-	if acc := e.Grid().CellAccesses() - accBefore; acc != 0 {
+	if acc := e.Stats().CellAccesses - accBefore; acc != 0 {
 		t.Errorf("far updates caused %d cell accesses", acc)
 	}
 	if sc := e.Stats().ShortCircuits - scBefore; sc != 0 {

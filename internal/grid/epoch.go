@@ -1,0 +1,46 @@
+package grid
+
+// Shared mode and the write-epoch guard.
+//
+// A sharded monitor keeps ONE grid for all of its engines: per-query state
+// (best_NN, visit list, leftover heap) is what must stay partitioned, the
+// object index is a pure shared structure (paper Section 3 — the grid
+// carries no per-query information beyond influence lists, which live in
+// per-engine grid.Influence indexes precisely so shards never write shared
+// cells). The sharing contract is phase-based, not lock-based:
+//
+//	coordinator: BeginWrites → Insert/Move/Delete/Rebuild… → EndWrites
+//	shards:      read freely between EndWrites and the next BeginWrites
+//
+// EndWrites advances the epoch, so every tick's fan-out observes one stable
+// epoch. The contract is enforced by cheap assertions compiled in under the
+// `race` (or `cpmassert`) build tag — see guard_on.go: reads during a write
+// window and writes outside one panic immediately, instead of surfacing as
+// a far-away corrupted result.
+
+// SetShared marks the grid as shared between a writing coordinator and
+// concurrent readers, arming the epoch-guard assertions (in race/assert
+// builds). A non-shared grid — every engine-private replica — is exempt:
+// its single owner interleaves reads and writes freely.
+func (g *Grid) SetShared(on bool) { g.shared = on }
+
+// Shared reports whether the grid is in shared (epoch-guarded) mode.
+func (g *Grid) Shared() bool { return g.shared }
+
+// Epoch returns the write epoch: the number of completed write windows
+// (EndWrites calls). ApplyBatch and Rebuild open and close their own
+// window, so on a live monitor the epoch counts applied write batches.
+// Read it between windows only (the monitor's scrape lock guarantees that).
+func (g *Grid) Epoch() int64 { return g.epoch }
+
+// BeginWrites opens a write window. Until EndWrites, mutations are allowed
+// and reads of object data are not (asserted in race/assert builds when the
+// grid is shared). Windows do not nest.
+func (g *Grid) BeginWrites() { g.writing.Store(true) }
+
+// EndWrites closes the write window and advances the epoch: the state is
+// stable again and readers may resume.
+func (g *Grid) EndWrites() {
+	g.epoch++
+	g.writing.Store(false)
+}

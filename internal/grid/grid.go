@@ -31,6 +31,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cpm/internal/geom"
 	"cpm/internal/model"
@@ -64,6 +65,14 @@ type Grid struct {
 	count        int   // live objects
 	nonEmpty     int   // cells currently holding at least one object
 	cellAccesses int64 // complete scans of cell object lists
+
+	// Shared-mode epoch guard (see epoch.go). `shared` is set once at
+	// construction time by a sharded monitor; `writing` is atomic so the
+	// guard assertions in race builds are themselves race-free; `epoch`
+	// only changes inside write windows and is read between them.
+	shared  bool
+	epoch   int64
+	writing atomic.Bool
 }
 
 // New creates a grid of size×size cells over the given workspace.
@@ -151,14 +160,19 @@ func (g *Grid) Clamp(p geom.Point) geom.Point {
 // in ascending id order, and the intrusive slots are rewritten as they go.
 //
 // Influence lists do NOT survive: they are cell-resolution book-keeping,
-// and the engine that owns the queries must reinstall them (together with
-// each query's visit list and heap) right after — see core.Engine.Rebalance.
-// The cumulative cell-access counter is preserved: a rebuild is index
-// maintenance, not search work.
+// and the engine(s) owning the queries must reinstall them (together with
+// each query's visit list and heap) right after — see core.Engine.Rebalance
+// and core.Engine.Reindex. The cumulative cell-access counter is preserved:
+// a rebuild is index maintenance, not search work.
+//
+// Rebuild opens its own write window, so on a shared grid it is safe to
+// call directly between fan-outs and it advances the epoch.
 func (g *Grid) Rebuild(newSize int) {
 	if newSize <= 0 {
 		panic(fmt.Sprintf("grid: non-positive rebuild size %d", newSize))
 	}
+	g.BeginWrites()
+	defer g.EndWrites()
 	g.size = newSize
 	g.delta = g.workspace.Width() / float64(newSize)
 	g.cells = make([]Cell, newSize*newSize)

@@ -1,0 +1,29 @@
+//go:build race || cpmassert
+
+package grid
+
+// Epoch-guard assertions, compiled in under -race (and the cpmassert tag
+// for assert-only builds). The release build pays nothing — see
+// guard_off.go. Both assertions read only the shared flag (immutable after
+// setup) and the atomic writing flag, so a violation panics deterministically
+// before any racy memory access happens.
+
+// guardEnabled reports whether the epoch-guard assertions are compiled in;
+// tests use it to know whether a violation must panic.
+const guardEnabled = true
+
+// assertStable panics when object data of a shared grid is read inside a
+// write window: the reader would observe a half-applied tick.
+func (g *Grid) assertStable() {
+	if g.shared && g.writing.Load() {
+		panic("grid: read of shared grid inside a write window (epoch unstable)")
+	}
+}
+
+// assertWritable panics when a shared grid is mutated outside a write
+// window: concurrent shard readers may be iterating its cells.
+func (g *Grid) assertWritable() {
+	if g.shared && !g.writing.Load() {
+		panic("grid: write to shared grid outside BeginWrites/EndWrites")
+	}
+}

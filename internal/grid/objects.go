@@ -57,6 +57,7 @@ func (g *Grid) removeObject(c CellIndex, id model.ObjectID) {
 // Inserting an id that is already live is an error in the update stream and
 // is reported rather than silently merged.
 func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
+	g.assertWritable()
 	if id < 0 {
 		return fmt.Errorf("grid: negative object id %d", id)
 	}
@@ -75,6 +76,7 @@ func (g *Grid) Insert(id model.ObjectID, p geom.Point) error {
 // Delete removes a live object. Deleting an unknown or dead object is
 // reported: the monitoring methods rely on the stream being consistent.
 func (g *Grid) Delete(id model.ObjectID) error {
+	g.assertWritable()
 	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
 		return fmt.Errorf("grid: delete of unknown object %d", id)
 	}
@@ -88,6 +90,7 @@ func (g *Grid) Delete(id model.ObjectID) error {
 // Clamp) and returns the old and new cells. When both are the same cell
 // only the stored position changes.
 func (g *Grid) Move(id model.ObjectID, p geom.Point) (oldCell, newCell CellIndex, err error) {
+	g.assertWritable()
 	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
 		return NoCell, NoCell, fmt.Errorf("grid: move of unknown object %d", id)
 	}
@@ -104,6 +107,7 @@ func (g *Grid) Move(id model.ObjectID, p geom.Point) (oldCell, newCell CellIndex
 
 // Position returns the current location of a live object.
 func (g *Grid) Position(id model.ObjectID) (geom.Point, bool) {
+	g.assertStable()
 	if id < 0 || int(id) >= len(g.alive) || !g.alive[id] {
 		return geom.Point{}, false
 	}
@@ -112,7 +116,10 @@ func (g *Grid) Position(id model.ObjectID) (geom.Point, bool) {
 
 // Pos returns the location of id without a liveness check — the fast path
 // for ids just read from a cell's object list, which are live by invariant.
-func (g *Grid) Pos(id model.ObjectID) geom.Point { return g.positions[id] }
+func (g *Grid) Pos(id model.ObjectID) geom.Point {
+	g.assertStable()
+	return g.positions[id]
+}
 
 // Alive reports whether id is a live object.
 func (g *Grid) Alive(id model.ObjectID) bool {
@@ -130,7 +137,19 @@ func (g *Grid) Len(c CellIndex) int {
 // slice is owned by the grid: callers must not mutate or retain it, and any
 // grid mutation invalidates it. Iterating it allocates nothing.
 func (g *Grid) CellObjects(c CellIndex) []model.ObjectID {
+	g.assertStable()
 	g.cellAccesses++
+	return g.cells[c].objects
+}
+
+// Objects returns cell c's object list as a borrowed slice WITHOUT touching
+// the grid's cell-access counter. Engines reading a shared grid use this and
+// count the access in their own Stats instead: the grid counter is not
+// synchronized, so concurrent shards bumping it would race (and the merged
+// count would double-charge a cell both shards scanned). Same ownership
+// contract as CellObjects.
+func (g *Grid) Objects(c CellIndex) []model.ObjectID {
+	g.assertStable()
 	return g.cells[c].objects
 }
 
@@ -139,6 +158,7 @@ func (g *Grid) CellObjects(c CellIndex) []model.ObjectID {
 // method or CellObjects so access counts compare fairly. fn must not mutate
 // the cell's object set.
 func (g *Grid) ScanObjects(c CellIndex, fn func(id model.ObjectID, p geom.Point)) {
+	g.assertStable()
 	g.cellAccesses++
 	for _, id := range g.cells[c].objects {
 		fn(id, g.positions[id])
@@ -148,6 +168,7 @@ func (g *Grid) ScanObjects(c CellIndex, fn func(id model.ObjectID, p geom.Point)
 // ForEachObject iterates over all live objects (no access accounting); the
 // brute-force oracle and the harness use it.
 func (g *Grid) ForEachObject(fn func(id model.ObjectID, p geom.Point)) {
+	g.assertStable()
 	for id, ok := range g.alive {
 		if ok {
 			fn(model.ObjectID(id), g.positions[id])

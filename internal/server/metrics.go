@@ -95,6 +95,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 	monGauge("cpm_monitor_full_searches_total", func() int64 { return s.mon.Stats().FullSearches })
 	monGauge("cpm_monitor_short_circuits_total", func() int64 { return s.mon.Stats().ShortCircuits })
 	monGauge("cpm_monitor_invalid_updates_total", func() int64 { return s.mon.InvalidUpdates() })
+	// Backends beyond the Backend contract: *cpm.Monitor reports its
+	// Section 4.1 memory units and the shared grid's write epoch, the
+	// cluster Coordinator does not (each worker owns a grid of its own).
+	// Register the gauges only when the backend can serve them, so a
+	// cluster front-end's scrape does not show misleading zeros.
+	if mf, ok := s.mon.(interface{ MemoryFootprint() int64 }); ok {
+		monGauge("cpm_monitor_memory_units", mf.MemoryFootprint)
+	}
+	if ge, ok := s.mon.(interface{ GridEpoch() int64 }); ok {
+		monGauge("cpm_grid_epoch", ge.GridEpoch)
+	}
 	return m
 }
 

@@ -7,14 +7,12 @@ import (
 
 // Coordinated online grid rebalancing.
 //
-// Every shard replicates the grid (object positions must be exact for any
-// query's search), so grid geometry — the cell count, and with it δ — is
-// shared state: the merged result and diff streams are only exact while all
-// replicas agree on it. The monitor therefore owns both the manual resize
-// (Rebalance fans the new size out to every shard engine between cycles)
+// Grid geometry — the cell count, and with it δ — is shared state: all
+// shards read the one shared grid, so the monitor owns both the manual
+// resize (Rebalance rebuilds the grid ONCE, then reindexes every engine)
 // and the automatic policy (maybeRebalance, evaluated at the end of every
 // ProcessBatch, after the worker fan-in barrier — no worker goroutine can
-// be touching an engine while the grids are rebuilt).
+// be touching an engine while the grid is rebuilt).
 
 // AutoRebalance configures the automatic grid-resizing policy of a
 // monitor. The zero value disables it.
@@ -66,17 +64,24 @@ func (m *Monitor) SetAutoRebalance(rb AutoRebalance) {
 	m.rb = rb
 }
 
-// Rebalance re-partitions every shard's grid replica into
-// newSize×newSize cells and reinstalls all query book-keeping, leaving
-// every result untouched (see core.Engine.Rebalance). It runs between
-// cycles — after ProcessBatch returns, the persistent workers are parked
-// on their feed channels, so the engines are exclusively ours — with one
-// goroutine per shard: each replica re-buckets the full object population,
-// so a serial loop would scale the stop-the-world pause linearly with the
-// shard count.
+// Rebalance re-partitions the shared grid into newSize×newSize cells —
+// re-bucketing the object population exactly once, however many shards
+// exist — and then reinstalls all query book-keeping, leaving every result
+// untouched (see core.Engine.Reindex). A no-op when newSize equals the
+// current size. It runs between cycles — after ProcessBatch returns, the
+// persistent workers are parked on their feed channels, so the engines are
+// exclusively ours — with one goroutine per shard for the reindex half:
+// reindexing scans no objects and touches only per-engine state plus the
+// (now stable) grid geometry, so it parallelizes cleanly even over the
+// shared grid.
 func (m *Monitor) Rebalance(newSize int) {
+	if newSize == m.g.Size() {
+		return
+	}
+	m.g.Rebuild(newSize)
+	m.rebalances++
 	if len(m.shards) == 1 {
-		m.shards[0].Rebalance(newSize)
+		m.shards[0].Reindex()
 		return
 	}
 	var wg sync.WaitGroup
@@ -84,20 +89,18 @@ func (m *Monitor) Rebalance(newSize int) {
 	for _, e := range m.shards {
 		go func() {
 			defer wg.Done()
-			e.Rebalance(newSize)
+			e.Reindex()
 		}()
 	}
 	wg.Wait()
 }
 
-// GridSize returns the current cells-per-dimension of the (agreeing)
-// shard grids — a runtime property once rebalancing is on.
-func (m *Monitor) GridSize() int { return m.shards[0].GridSize() }
+// GridSize returns the shared grid's current cells-per-dimension — a
+// runtime property once rebalancing is on.
+func (m *Monitor) GridSize() int { return m.g.Size() }
 
 // Rebalances returns how many grid resizes the monitor has performed.
-// All replicas resize together, so the first shard's count is the
-// monitor's.
-func (m *Monitor) Rebalances() int64 { return m.shards[0].Rebalances() }
+func (m *Monitor) Rebalances() int64 { return m.rebalances }
 
 // maybeRebalance runs the policy at a cycle boundary. The occupancy read
 // and the decision are pure arithmetic over two grid counters, so the
@@ -115,17 +118,15 @@ func (m *Monitor) maybeRebalance() {
 	}
 }
 
-// rebalanceTarget evaluates the policy against the first shard's grid
-// replica (all replicas are identical) and returns the new grid size when
-// a resize is due.
+// rebalanceTarget evaluates the policy against the shared grid and returns
+// the new grid size when a resize is due.
 //
 // With mean occupancy L on an S×S grid, the population covers roughly
 // L-proportionally many cells at any resolution, so resizing to
 // S·sqrt(L/Target) lands the occupancy near Target; the hysteresis band
 // around Target keeps the sqrt correction from ping-ponging.
 func (m *Monitor) rebalanceTarget() (int, bool) {
-	g := m.shards[0].Grid()
-	load := g.MeanOccupancy()
+	load := m.g.MeanOccupancy()
 	if load == 0 {
 		return 0, false // empty grid: nothing to steer by
 	}
@@ -133,7 +134,7 @@ func (m *Monitor) rebalanceTarget() (int, bool) {
 	if load <= target*m.rb.Band && load >= target/m.rb.Band {
 		return 0, false
 	}
-	size := g.Size()
+	size := m.g.Size()
 	ns := int(math.Round(float64(size) * math.Sqrt(load/target)))
 	if ns < m.rb.MinSize {
 		ns = m.rb.MinSize

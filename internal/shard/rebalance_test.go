@@ -131,6 +131,16 @@ func TestRebalanceEquivalence(t *testing.T) {
 				// results, change sets and ordered diff streams on the
 				// resized and the fresh monitor, and oracle-exact results.
 				for cycle := 0; cycle < 10; cycle++ {
+					// Mid-stream, rebuild the (shared, at 8 shards) grid
+					// again on the resized monitor only: results are
+					// δ-independent, so the two monitors must stay
+					// byte-identical even at different grid sizes.
+					if cycle == 5 {
+						m.Rebalance(24)
+						if got := m.Rebalances(); got != 2 {
+							t.Fatalf("Rebalances = %d after mid-stream resize, want 2", got)
+						}
+					}
 					b := w.batch()
 					w.applyToOracle(b)
 					m.ProcessBatch(b)

@@ -1,18 +1,24 @@
 // Package shard implements a sharded CPM monitor: continuous queries are
 // hash-partitioned across N worker shards, each owning a private
-// core.Engine, and every processing cycle fans the update batch out to one
-// goroutine per shard and merges the results.
+// core.Engine, and every processing cycle applies the object stream once to
+// one shared grid, fans the resulting write log out to one goroutine per
+// shard and merges the results.
 //
 // CPM's per-query state — best_NN, visit list, leftover heap (paper
 // Figures 3.3a/3.8/3.9) — is independent across queries, so the per-cycle
-// monitoring loop is embarrassingly parallel in the query dimension. Each
-// shard replicates the grid index (object positions must be exact for any
-// query's search), but its influence lists cover only its own queries, so
-// the engine's affected-cell pre-filter reduces every update that does not
-// intersect one of the shard's influence regions to a bare index mutation.
-// The expensive work — influence scans over cell object lists, NN
-// re-computations, heap maintenance — happens only in the shard that owns
-// the affected query.
+// monitoring loop is embarrassingly parallel in the query dimension. The
+// grid, by contrast, is a pure shared index: it carries no per-query state
+// (influence lists live in per-engine grid.Influence indexes), so all
+// shards read ONE grid and memory stays O(objects) instead of O(shards ×
+// objects). The coordinator applies each tick's object updates exactly once
+// (grid.ApplyBatch, inside an epoch-guarded write window), then every shard
+// replays the write log against its own influence lists at a stable epoch —
+// reads only, so the fan-out needs no locks. Each shard's influence lists
+// cover only its own queries, so the engine's affected-cell pre-filter
+// reduces every update that does not intersect one of the shard's influence
+// regions to a couple of slice-length loads. The expensive work — influence
+// scans over cell object lists, NN re-computations, heap maintenance —
+// happens only in the shard that owns the affected query.
 //
 // The partitioning is exact, not approximate: for identical streams a
 // sharded monitor produces byte-for-byte the results, change
@@ -21,12 +27,15 @@
 package shard
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
+	"time"
 
 	"cpm/internal/core"
 	"cpm/internal/geom"
+	"cpm/internal/grid"
 	"cpm/internal/model"
 )
 
@@ -35,42 +44,82 @@ import (
 // ProcessBatch, which owns the worker goroutines.
 //
 // The workers are persistent: the first multi-shard ProcessBatch starts one
-// goroutine per shard, and subsequent cycles feed them batches over
-// per-shard channels, so a steady-state cycle spawns no goroutines and
+// goroutine per shard, and subsequent cycles feed them the tick's write log
+// over per-shard channels, so a steady-state cycle spawns no goroutines and
 // performs zero heap allocations (a per-cycle `go func` closure would
 // allocate once per shard per tick). Close stops the workers; a later
 // ProcessBatch transparently restarts them, so Close is only required to
 // release the goroutines of a monitor that is being discarded.
 type Monitor struct {
+	// g is the single grid shared by all shards, owned (and exclusively
+	// mutated) by the coordinator thread running ProcessBatch.
+	g      *grid.Grid
 	shards []*core.Engine
 	// perShard reuses the per-cycle query-update routing buffers.
 	perShard [][]model.QueryUpdate
+	// applied is the reused per-tick write log produced by grid.ApplyBatch
+	// and shared read-only by every worker during the fan-out.
+	applied []grid.Applied
 
-	// feed carries one batch per cycle to each persistent worker; nil until
-	// the first multi-shard ProcessBatch. wg counts outstanding workers
-	// within one cycle.
-	feed []chan model.Batch
+	// invalidObjects counts object updates the coordinator dropped while
+	// applying the stream — exactly once per element, however many shards
+	// exist. Query-update invalids stay with their routed engines.
+	invalidObjects int64
+	// applyNs is the serial grid-application time of the last tick,
+	// reported as part of the relocation phase.
+	applyNs int64
+	// perUpdate mirrors core.Options.PerUpdate: the ablation's one-at-a-time
+	// semantics need the coordinator to interleave grid writes with the
+	// engines' scan/resolve rounds, so the monitor drives it.
+	perUpdate bool
+
+	// feed carries one work item per cycle to each persistent worker; nil
+	// until the first multi-shard ProcessBatch. wg counts outstanding
+	// workers within one cycle.
+	feed []chan feedItem
 	wg   sync.WaitGroup
 
+	// Merge buffers reused across ticks by the serving path; the returned
+	// slices are borrowed until the next call.
+	mergedIDs   []model.QueryID
+	mergedDiffs []model.ResultDiff
+
 	// rb is the auto-rebalancing policy (zero value: disabled); ticks
-	// counts completed ProcessBatch cycles for its check cadence.
-	rb    AutoRebalance
-	ticks int64
+	// counts completed ProcessBatch cycles for its check cadence;
+	// rebalances counts grid resizes (the grid is resized once, not once
+	// per shard).
+	rb         AutoRebalance
+	ticks      int64
+	rebalances int64
 }
 
-// New creates a monitor of n hash-partitioned shards over gridSize×gridSize
-// grids spanning the workspace. n < 1 is clamped to 1; with one shard the
-// monitor is a thin pass-through around a single engine.
+// feedItem is one cycle's work for one shard: the tick's write log (shared,
+// read-only) and the query updates routed to the shard.
+type feedItem struct {
+	applied []grid.Applied
+	queries []model.QueryUpdate
+}
+
+// New creates a monitor of n hash-partitioned shards over one shared
+// gridSize×gridSize grid spanning the workspace. n < 1 is clamped to 1;
+// with one shard the monitor still runs the apply-once cycle, just without
+// the goroutine fan-out.
 func New(n, gridSize int, workspace geom.Rect, opts core.Options) *Monitor {
 	if n < 1 {
 		n = 1
 	}
+	g := grid.New(gridSize, workspace)
+	// Arm the epoch-guard assertions (race/assert builds): from here on the
+	// grid may only be mutated inside a write window.
+	g.SetShared(true)
 	m := &Monitor{
-		shards:   make([]*core.Engine, n),
-		perShard: make([][]model.QueryUpdate, n),
+		g:         g,
+		shards:    make([]*core.Engine, n),
+		perShard:  make([][]model.QueryUpdate, n),
+		perUpdate: opts.PerUpdate,
 	}
 	for i := range m.shards {
-		m.shards[i] = core.NewEngine(gridSize, workspace, opts)
+		m.shards[i] = core.NewSharedEngine(g, opts)
 	}
 	return m
 }
@@ -95,11 +144,19 @@ func (m *Monitor) shardOf(id model.QueryID) int {
 // owner returns the engine owning query id.
 func (m *Monitor) owner(id model.QueryID) *core.Engine { return m.shards[m.shardOf(id)] }
 
-// Bootstrap loads the initial object population into every shard's grid
-// replica. Call once, before registering queries or processing updates.
+// Bootstrap loads the initial object population into the shared grid —
+// once, not once per shard. Call before registering queries or processing
+// updates; it panics on a non-empty monitor.
 func (m *Monitor) Bootstrap(objs map[model.ObjectID]geom.Point) {
-	for _, e := range m.shards {
-		e.Bootstrap(objs)
+	if m.g.Count() > 0 {
+		panic("shard: Bootstrap on a non-empty monitor")
+	}
+	m.g.BeginWrites()
+	defer m.g.EndWrites()
+	for id, p := range objs {
+		if err := m.g.Insert(id, p); err != nil {
+			panic(fmt.Sprintf("shard: bootstrap insert: %v", err))
+		}
 	}
 }
 
@@ -135,32 +192,28 @@ func (m *Monitor) IsRange(id model.QueryID) bool { return m.owner(id).IsRange(id
 func (m *Monitor) HasQuery(id model.QueryID) bool { return m.owner(id).HasQuery(id) }
 
 // QueryIDs returns the ids of all installed queries across every shard, in
-// ascending order (matching the single engine on identical streams).
+// ascending order (matching the single engine on identical streams). The
+// caller owns the slice.
 func (m *Monitor) QueryIDs() []model.QueryID {
 	var ids []model.QueryID
 	for _, e := range m.shards {
 		ids = append(ids, e.QueryIDs()...)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
 // RemoveQuery uninstalls a query of either kind. Unknown ids are a no-op.
 func (m *Monitor) RemoveQuery(id model.QueryID) { m.owner(id).RemoveQuery(id) }
 
-// ProcessBatch runs one processing cycle: the object stream is shared
-// read-only by every shard (each must keep its grid replica exact), query
-// updates are routed to their owning shards, and the persistent worker of
-// each shard runs the engine's monitoring loop over its partition.
+// ProcessBatch runs one processing cycle restructured around the shared
+// grid: apply writes (the coordinator thread applies the object stream to
+// the grid exactly once, logging each accepted update), then parallel
+// monitoring (every shard replays the log against its own influence lists
+// at the now-stable epoch and resolves its queries), then merge (the
+// accessor methods below). Query updates are routed to their owning shards
+// as before.
 func (m *Monitor) ProcessBatch(b model.Batch) {
-	if len(m.shards) == 1 {
-		m.shards[0].ProcessBatch(b)
-		m.maybeRebalance()
-		return
-	}
-	if m.feed == nil {
-		m.start()
-	}
 	for i := range m.perShard {
 		m.perShard[i] = m.perShard[i][:0]
 	}
@@ -168,38 +221,88 @@ func (m *Monitor) ProcessBatch(b model.Batch) {
 		s := m.shardOf(qu.ID)
 		m.perShard[s] = append(m.perShard[s], qu)
 	}
-	m.wg.Add(len(m.shards))
-	for i, ch := range m.feed {
-		ch <- model.Batch{Objects: b.Objects, Queries: m.perShard[i]}
+	if m.perUpdate {
+		m.processPerUpdate(b)
+	} else {
+		t0 := time.Now()
+		var invalid int64
+		m.applied, invalid = m.g.ApplyBatch(b.Objects, m.applied[:0])
+		m.invalidObjects += invalid
+		m.applyNs = time.Since(t0).Nanoseconds()
+		if len(m.shards) == 1 {
+			e := m.shards[0]
+			e.BeginCycle(m.perShard[0])
+			e.ScanApplied(m.applied)
+			e.ApplyQueryUpdates(m.perShard[0])
+		} else {
+			if m.feed == nil {
+				m.start()
+			}
+			m.wg.Add(len(m.shards))
+			for i, ch := range m.feed {
+				ch <- feedItem{applied: m.applied, queries: m.perShard[i]}
+			}
+			m.wg.Wait()
+		}
 	}
-	m.wg.Wait()
 	m.maybeRebalance()
+}
+
+// processPerUpdate drives the Section 3.2 ablation over the shared grid:
+// each object update is applied to the grid on its own and immediately
+// classified and resolved by every engine before the next one is applied.
+// The interleaving forces sequential engine rounds — the ablation measures
+// algorithmic cost, not parallel speedup.
+func (m *Monitor) processPerUpdate(b model.Batch) {
+	for i, e := range m.shards {
+		e.BeginCycle(m.perShard[i])
+	}
+	m.applyNs = 0
+	for i := range b.Objects {
+		t0 := time.Now()
+		var invalid int64
+		m.applied, invalid = m.g.ApplyBatch(b.Objects[i:i+1], m.applied[:0])
+		m.invalidObjects += invalid
+		m.applyNs += time.Since(t0).Nanoseconds()
+		for _, e := range m.shards {
+			e.ScanApplied(m.applied)
+		}
+	}
+	for i, e := range m.shards {
+		e.ApplyQueryUpdates(m.perShard[i])
+	}
 }
 
 // start launches one persistent worker goroutine per shard. The channel
 // send in ProcessBatch happens-before the worker's engine access, and the
 // worker's wg.Done happens-before wg.Wait returns, so each cycle's shard
-// state is owned by exactly one goroutine at a time.
+// state is owned by exactly one goroutine at a time — and the write log it
+// replays was fully applied before any send.
 func (m *Monitor) start() {
-	m.feed = make([]chan model.Batch, len(m.shards))
+	m.feed = make([]chan feedItem, len(m.shards))
 	for i := range m.shards {
-		ch := make(chan model.Batch)
+		ch := make(chan feedItem)
 		m.feed[i] = ch
 		e := m.shards[i]
 		go func() {
-			for b := range ch {
-				e.ProcessBatch(b)
+			for it := range ch {
+				e.BeginCycle(it.queries)
+				e.ScanApplied(it.applied)
+				e.ApplyQueryUpdates(it.queries)
 				m.wg.Done()
 			}
 		}()
 	}
 }
 
-// Close stops the persistent worker goroutines. It is idempotent, and the
-// monitor stays usable: a later ProcessBatch restarts the workers. Closing
-// a monitor that never ran a multi-shard cycle is a no-op. Call it when
-// discarding a monitor with Shards > 1 so its goroutines do not outlive it.
+// Close stops the persistent worker goroutines, including any intra-shard
+// scan workers the engines started. It is idempotent, and the monitor stays
+// usable: a later ProcessBatch restarts the workers. Call it when
+// discarding a monitor so its goroutines do not outlive it.
 func (m *Monitor) Close() {
+	for _, e := range m.shards {
+		e.Close()
+	}
 	if m.feed == nil {
 		return
 	}
@@ -220,29 +323,39 @@ func (m *Monitor) RangeResult(id model.QueryID) []model.Neighbor {
 // BestDist returns the query's current best_dist.
 func (m *Monitor) BestDist(id model.QueryID) float64 { return m.owner(id).BestDist(id) }
 
-// ObjectPosition returns the current position of a live object (all grid
-// replicas are identical; the first shard answers).
+// ObjectPosition returns the current position of a live object, read from
+// the shared grid.
 func (m *Monitor) ObjectPosition(id model.ObjectID) (geom.Point, bool) {
-	return m.shards[0].ObjectPosition(id)
+	return m.g.Position(id)
 }
 
 // ObjectCount returns the number of live objects.
-func (m *Monitor) ObjectCount() int { return m.shards[0].ObjectCount() }
+func (m *Monitor) ObjectCount() int { return m.g.Count() }
+
+// GridEpoch returns the shared grid's write epoch — the number of write
+// batches (object-stream applications, bootstraps, rebuilds) applied to it.
+func (m *Monitor) GridEpoch() int64 { return m.g.Epoch() }
 
 // ChangedQueries merges the shards' per-cycle notification sets, in
-// ascending order. Ownership is disjoint, so the merge is duplicate-free.
+// ascending order. Ownership is disjoint, so cross-shard duplicates cannot
+// occur (termination duplicates within one shard are compacted, matching
+// the single engine). The returned slice is a merge buffer reused across
+// ticks: it is borrowed until the next ChangedQueries call.
 func (m *Monitor) ChangedQueries() []model.QueryID {
 	if len(m.shards) == 1 {
 		return m.shards[0].ChangedQueries()
 	}
-	var out []model.QueryID
+	out := m.mergedIDs[:0]
 	for _, e := range m.shards {
-		out = append(out, e.ChangedQueries()...)
+		out = e.AppendChangedIDs(out)
 	}
 	if len(out) == 0 {
+		m.mergedIDs = out
 		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	out = slices.Compact(out)
+	m.mergedIDs = out
 	return out
 }
 
@@ -258,36 +371,46 @@ func (m *Monitor) EnableDiffs(on bool) {
 // stable-ordered by query id and resets them. Ownership is disjoint, so
 // the merge is duplicate-free, and the ordering contract makes the merged
 // stream byte-for-byte the single-engine stream for identical workloads
-// (asserted by this package's equivalence property test).
+// (asserted by this package's equivalence property test). The returned
+// slice is a merge buffer reused across ticks — borrowed until the next
+// TakeDiffs call; the diff values themselves (and the result slices they
+// carry) are handed off by the engines and stay valid.
 func (m *Monitor) TakeDiffs() []model.ResultDiff {
 	if len(m.shards) == 1 {
 		return m.shards[0].TakeDiffs()
 	}
-	var out []model.ResultDiff
+	out := m.mergedDiffs[:0]
 	for _, e := range m.shards {
 		out = append(out, e.TakeDiffs()...)
 	}
+	m.mergedDiffs = out
 	if len(out) == 0 {
 		return nil
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	slices.SortStableFunc(out, func(a, b model.ResultDiff) int {
+		return cmp.Compare(a.Query, b.Query)
+	})
 	return out
 }
 
 // LastPhases returns the cost-model phase decomposition of the most
 // recent ProcessBatch. Shards run concurrently, so each phase reports the
-// slowest shard (the critical path), not the sum across shards.
+// slowest shard (the critical path), not the sum across shards; the
+// coordinator's serial grid-application time is added to the relocation
+// phase, where index maintenance has always been accounted.
 func (m *Monitor) LastPhases() model.PhaseNanos {
 	var p model.PhaseNanos
 	for _, e := range m.shards {
 		p.MaxOf(e.LastPhases())
 	}
+	p.Relocate += m.applyNs
 	return p
 }
 
 // Stats sums the shards' work counters. Searches, scans and re-computations
-// run only in the shard owning the affected query, so the sum equals a
-// single engine's counters for the same stream.
+// run only in the shard owning the affected query, and every counter —
+// including cell accesses — is engine-local, so the sum equals a single
+// engine's counters for the same stream.
 func (m *Monitor) Stats() model.Stats {
 	var s model.Stats
 	for _, e := range m.shards {
@@ -297,24 +420,25 @@ func (m *Monitor) Stats() model.Stats {
 }
 
 // InvalidUpdates reports how many stream elements were dropped as
-// inconsistent. Object updates are validated identically by every replica
-// (count them once); query updates are validated only by their routed
-// shard (sum them).
+// inconsistent. Object updates are validated once by the coordinator while
+// applying the shared grid's writes; query updates are validated only by
+// their routed shard (sum them).
 func (m *Monitor) InvalidUpdates() int64 {
-	total := m.shards[0].InvalidObjectUpdates()
+	total := m.invalidObjects
 	for _, e := range m.shards {
 		total += e.InvalidQueryUpdates()
 	}
 	return total
 }
 
-// MemoryFootprint sums the shards' footprints in the abstract units of the
-// paper's Section 4.1. The grid term is replicated per shard — that is the
-// space cost of sharding — while the per-query bookkeeping is partitioned.
+// MemoryFootprint reports the monitor's size in the abstract units of the
+// paper's Section 4.1: the shared grid term counted ONCE plus every shard's
+// partitioned query book-keeping. Equal to a single engine's footprint for
+// the same workload — sharding no longer multiplies the grid term.
 func (m *Monitor) MemoryFootprint() int64 {
-	var total int64
+	total := m.g.MemoryFootprint()
 	for _, e := range m.shards {
-		total += e.MemoryFootprint()
+		total += e.QueryMemoryUnits()
 	}
 	return total
 }

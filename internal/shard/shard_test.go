@@ -18,6 +18,12 @@ import (
 // shardCounts is the sweep of the equivalence property test.
 var shardCounts = []int{1, 2, 4, 8}
 
+// workersFor adds intra-shard scan parallelism to the sweep: each shard
+// count runs with a different ScanWorkers setting (including the serial
+// default) so the equivalence property also covers the per-shard worker
+// pool. The single-engine reference always stays serial.
+var workersFor = map[int]int{1: 4, 2: 3, 4: 1, 8: 2}
+
 // qKind enumerates the query shapes the property test mixes.
 type qKind uint8
 
@@ -316,7 +322,8 @@ func TestShardEquivalenceRandomWorkload(t *testing.T) {
 		monitors := []monitor{single}
 		sharded := make([]*shard.Monitor, 0, len(shardCounts))
 		for _, n := range shardCounts {
-			s := shard.NewUnit(n, gridSize, core.Options{})
+			s := shard.NewUnit(n, gridSize, core.Options{ScanWorkers: workersFor[n]})
+			defer s.Close()
 			sharded = append(sharded, s)
 			monitors = append(monitors, s)
 		}
@@ -376,6 +383,13 @@ func TestShardEquivalenceRandomWorkload(t *testing.T) {
 				if got := s.InvalidUpdates(); got != refInvalid {
 					t.Fatalf("seed %d cycle %d: %s invalid updates %d, want %d",
 						seed, cycle, s.Name(), got, refInvalid)
+				}
+				// The grid is shared, so the Section 4.1 footprint must
+				// EQUAL the single engine's — grid term counted once,
+				// query book-keeping partitioned without duplication.
+				if got := s.MemoryFootprint(); got != single.MemoryFootprint() {
+					t.Fatalf("seed %d cycle %d: %s memory footprint %d, single engine %d",
+						seed, cycle, s.Name(), got, single.MemoryFootprint())
 				}
 			}
 
